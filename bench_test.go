@@ -1,0 +1,552 @@
+package khsim
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (§V) as Go benchmarks, one per figure, with the
+// reported numbers attached as custom metrics:
+//
+//	go test -bench=. -benchmem
+//
+// Figures 4–6: BenchmarkFig4/5/6… report detours/s, mean detour µs and
+// stolen-time percent. Figures 7/8: BenchmarkFig7Fig8… report the rate in
+// the paper's units ×1e6 plus the native-normalized value ×1000.
+// Figures 9/10: BenchmarkFig9Fig10… likewise. BenchmarkAblation… sweep
+// the design choices DESIGN.md calls out. BenchmarkApp… measure the real
+// (host-executed) application kernels.
+
+import (
+	"fmt"
+	"testing"
+
+	"khsim/internal/apps/gups"
+	"khsim/internal/apps/hpcg"
+	"khsim/internal/apps/npb"
+	"khsim/internal/apps/stream"
+	"khsim/internal/core"
+	"khsim/internal/hafnium"
+	"khsim/internal/harness"
+	"khsim/internal/kitten"
+	"khsim/internal/machine"
+	"khsim/internal/noise"
+	"khsim/internal/osapi"
+	"khsim/internal/shmring"
+	"khsim/internal/sim"
+	"khsim/internal/workload"
+)
+
+const selfishBenchSeconds = 10
+
+func benchSelfish(b *testing.B, cfg harness.Config) {
+	b.Helper()
+	var res *noise.SelfishResult
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunSelfish(cfg, 42, sim.FromSeconds(selfishBenchSeconds))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.RatePerSecond(), "detours/s")
+	if res.Count() > 0 {
+		b.ReportMetric(res.DurationsMicros().Mean(), "mean-us")
+		b.ReportMetric(res.DurationsMicros().Max(), "max-us")
+	}
+	b.ReportMetric(100*res.StolenFraction(), "stolen-%")
+}
+
+// BenchmarkFig4SelfishNative reproduces Fig 4: selfish-detour on native
+// Kitten.
+func BenchmarkFig4SelfishNative(b *testing.B) { benchSelfish(b, harness.Native) }
+
+// BenchmarkFig5SelfishKittenVM reproduces Fig 5: a Kitten secondary VM
+// under a Kitten scheduler VM.
+func BenchmarkFig5SelfishKittenVM(b *testing.B) { benchSelfish(b, harness.KittenVM) }
+
+// BenchmarkFig6SelfishLinuxVM reproduces Fig 6: a Kitten secondary VM
+// under a Linux scheduler VM.
+func BenchmarkFig6SelfishLinuxVM(b *testing.B) { benchSelfish(b, harness.LinuxVM) }
+
+func benchWorkload(b *testing.B, spec workload.Spec, cfg harness.Config, baseline float64) {
+	b.Helper()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunWorkload(cfg, spec, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.Rate
+	}
+	b.ReportMetric(rate*1e6, spec.Units+"-x1e6")
+	if baseline > 0 {
+		b.ReportMetric(rate/baseline*1000, "norm-x1000")
+	}
+}
+
+// benchTable runs a spec across the three configurations as
+// sub-benchmarks, computing the native baseline once for normalization.
+func benchTable(b *testing.B, specs []workload.Spec) {
+	for _, spec := range specs {
+		spec := spec
+		base, err := harness.RunWorkload(harness.Native, spec, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range harness.Configs {
+			cfg := cfg
+			b.Run(fmt.Sprintf("%s/%s", spec.Name, cfg), func(b *testing.B) {
+				benchWorkload(b, spec, cfg, base.Rate)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Fig8Micro reproduces Figures 7 and 8: HPCG, STREAM and
+// RandomAccess across the three configurations (raw rate and normalized).
+func BenchmarkFig7Fig8Micro(b *testing.B) {
+	benchTable(b, []workload.Spec{workload.HPCG(), workload.Stream(), workload.GUPS()})
+}
+
+// BenchmarkFig9Fig10NAS reproduces Figures 9 and 10: the NAS subset.
+func BenchmarkFig9Fig10NAS(b *testing.B) {
+	benchTable(b, []workload.Spec{
+		workload.NASLU(), workload.NASBT(), workload.NASCG(),
+		workload.NASEP(), workload.NASSP(),
+	})
+}
+
+const ablationManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 256
+
+[vm job]
+class = secondary
+vcpus = 1
+memory_mb = 512
+working_set_pages = 256
+`
+
+// BenchmarkAblationTickRate sweeps the primary Kitten's tick rate,
+// reporting stolen time: the knob behind the LWK's noise advantage.
+func BenchmarkAblationTickRate(b *testing.B) {
+	for _, hz := range []sim.Hertz{10, 100, 250, 1000} {
+		hz := hz
+		b.Run(fmt.Sprintf("%.0fHz", float64(hz)), func(b *testing.B) {
+			var res *noise.SelfishResult
+			for i := 0; i < b.N; i++ {
+				params := kitten.DefaultParams()
+				params.TickHz = hz
+				s := noise.NewSelfish(fmt.Sprintf("kitten-%vHz", hz), sim.FromSeconds(5))
+				_, err := harness.RunCustom(core.Options{
+					Seed: 42, Manifest: ablationManifest,
+					Scheduler: core.SchedulerKitten, Kitten: params,
+				}, "job", kitten.DefaultParams(), s,
+					func() bool { return s.Result.Finished }, sim.FromSeconds(10))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = &s.Result
+			}
+			b.ReportMetric(res.RatePerSecond(), "detours/s")
+			b.ReportMetric(100*res.StolenFraction(), "stolen-%")
+		})
+	}
+}
+
+// BenchmarkAblationTLBPolicy compares VMID-tagged TLBs against
+// flush-on-switch for the TLB-hostile RandomAccess workload.
+func BenchmarkAblationTLBPolicy(b *testing.B) {
+	for _, tlb := range []string{"vmid-tagged", "flush-all"} {
+		tlb := tlb
+		b.Run(tlb, func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				spec := workload.GUPS()
+				run := workload.New(spec, workload.Env{TwoStage: true, RNG: sim.NewRNG(3)})
+				_, err := harness.RunCustom(core.Options{
+					Seed: 42, Manifest: "tlb = " + tlb + "\n" + ablationManifest,
+					Scheduler: core.SchedulerLinux,
+				}, "job", kitten.DefaultParams(), run,
+					func() bool { return run.Result.Finished }, sim.FromSeconds(20))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = run.Result.Rate
+			}
+			b.ReportMetric(rate*1e6, "GUP/s-x1e6")
+		})
+	}
+}
+
+// BenchmarkAblationIRQRouting compares the paper's forward-via-primary
+// device-interrupt path against the §VII future-work selective routing,
+// reporting delivery latency into the super-secondary login VM.
+func BenchmarkAblationIRQRouting(b *testing.B) {
+	manifest := func(routing string) string {
+		return `routing = ` + routing + `
+
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 256
+
+[vm login]
+class = super-secondary
+vcpus = 1
+memory_mb = 128
+`
+	}
+	const nicIRQ = 45
+	for _, routing := range []string{"via-primary", "selective"} {
+		routing := routing
+		b.Run(routing, func(b *testing.B) {
+			var latency sim.Duration
+			for i := 0; i < b.N; i++ {
+				n, err := core.NewSecureNode(core.Options{
+					Seed: 42, Manifest: manifest(routing), Scheduler: core.SchedulerKitten,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				guest := kitten.NewGuest(kitten.DefaultParams())
+				var handledAt sim.Time
+				guest.OnDeviceIRQ = func(vc *hafnium.VCPU, virq int) { handledAt = vc.Now() }
+				// Keep the login VM resident on core 1 so the two routing
+				// policies actually differ (a blocked VM degenerates both
+				// paths to the wakeup flow).
+				guest.Attach(0, noise.NewSelfish("login-busy", sim.FromSeconds(30)))
+				if err := n.AttachGuest("login", guest, 1); err != nil {
+					b.Fatal(err)
+				}
+				if err := n.Boot(); err != nil {
+					b.Fatal(err)
+				}
+				// Keep the login VM resident, then fire the device IRQ at
+				// its core and measure delivery latency.
+				n.Run(sim.FromSeconds(0.05))
+				n.Machine.GIC.Enable(nicIRQ)
+				target := 1
+				if routing == "via-primary" {
+					target = 0 // SPIs land on the primary's core first
+				}
+				n.Machine.GIC.Route(nicIRQ, target)
+				raisedAt := n.Machine.Now()
+				n.Machine.GIC.RaiseSPI(nicIRQ)
+				n.Run(sim.FromSeconds(0.5))
+				if handledAt == 0 {
+					b.Fatal("device IRQ never reached the login VM")
+				}
+				latency = handledAt.Sub(raisedAt)
+			}
+			b.ReportMetric(latency.Micros(), "delivery-us")
+		})
+	}
+}
+
+// Real application kernels, executed on the host (these measure this
+// machine, not the simulated Pine A64 — they validate the numerics the
+// workload models represent).
+
+// BenchmarkAppStreamTriad measures the real STREAM triad kernel.
+func BenchmarkAppStreamTriad(b *testing.B) {
+	d := stream.New(1 << 20)
+	b.ResetTimer()
+	var bytes uint64
+	for i := 0; i < b.N; i++ {
+		bytes += d.Triad()
+	}
+	b.SetBytes(int64(bytes / uint64(b.N)))
+}
+
+// BenchmarkAppGUPS measures the real RandomAccess update loop.
+func BenchmarkAppGUPS(b *testing.B) {
+	tb, err := gups.New(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := gups.Starts(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start = tb.Update(start, 1<<16)
+	}
+	b.ReportMetric(float64(b.N)*float64(1<<16)/b.Elapsed().Seconds()*1e-9, "GUP/s")
+}
+
+// BenchmarkAppHPCG measures one preconditioned-CG iteration set.
+func BenchmarkAppHPCG(b *testing.B) {
+	p, err := hpcg.NewProblem(24, 24, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var flops float64
+	for i := 0; i < b.N; i++ {
+		res, err := p.Solve(10, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flops = res.FLOPs
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()*1e-9, "GFlop/s")
+}
+
+// BenchmarkAppEP measures the real NPB EP kernel (2^18 pairs per op).
+func BenchmarkAppEP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := npb.EP(18)
+		if r.Count == 0 {
+			b.Fatal("no pairs accepted")
+		}
+	}
+}
+
+// BenchmarkAppNPBCG measures the real NPB CG loop.
+func BenchmarkAppNPBCG(b *testing.B) {
+	m, err := npb.NewCGMatrix(700, 10, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		npb.RunCG(m, 20, 3, 15)
+	}
+}
+
+// BenchmarkAppLUSSOR measures the real SSOR wavefront sweep.
+func BenchmarkAppLUSSOR(b *testing.B) {
+	g, err := npb.NewGrid3D(24, 24, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		npb.LUSSOR(g, 2, 1.2)
+	}
+}
+
+// BenchmarkAppADI measures the scalar and block ADI sweeps.
+func BenchmarkAppADI(b *testing.B) {
+	b.Run("sp-scalar", func(b *testing.B) {
+		g, _ := npb.NewGrid3D(24, 24, 24)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			npb.SPADI(g, 2)
+		}
+	})
+	b.Run("bt-block", func(b *testing.B) {
+		st, _ := npb.NewBTState(24, 24, 24, 5)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			npb.BTADI(st, 2)
+		}
+	})
+}
+
+// Extension benchmarks: the paper's §VII future-work directions.
+
+// BenchmarkExtensionParallelScaling measures multi-VCPU scaling of a
+// compute-bound workload across 1–4 VCPUs under a Kitten primary.
+func BenchmarkExtensionParallelScaling(b *testing.B) {
+	for _, vcpus := range []int{1, 2, 4} {
+		vcpus := vcpus
+		b.Run(fmt.Sprintf("%dvcpu", vcpus), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				_, sp, err := harness.RunParallelWorkload(harness.KittenVM, workload.NASEP(), vcpus, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = sp
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkExtensionInterference measures performance isolation: a
+// victim benchmark with a CPU-hog VM on another core vs sharing its core,
+// under both schedulers.
+func BenchmarkExtensionInterference(b *testing.B) {
+	cases := []struct {
+		name     string
+		cfg      harness.Config
+		sameCore bool
+	}{
+		{"kitten/cross-core", harness.KittenVM, false},
+		{"kitten/same-core", harness.KittenVM, true},
+		{"linux/cross-core", harness.LinuxVM, false},
+		{"linux/same-core", harness.LinuxVM, true},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var slowdown float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunInterference(c.cfg, workload.NASEP(), 7, c.sameCore)
+				if err != nil {
+					b.Fatal(err)
+				}
+				slowdown = res.Slowdown()
+			}
+			b.ReportMetric(slowdown, "slowdown")
+		})
+	}
+}
+
+// BenchmarkExtensionDeviceNoise sweeps device-interrupt rates hitting the
+// benchmark's core with the paper's forward-via-primary routing — the
+// cost of not having selective routing (§VII).
+func BenchmarkExtensionDeviceNoise(b *testing.B) {
+	for _, rate := range []sim.Hertz{0, 100, 1000, 5000} {
+		rate := rate
+		b.Run(fmt.Sprintf("%.0fHz", float64(rate)), func(b *testing.B) {
+			var stolenPct float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunDeviceNoise(harness.KittenVM, workload.NASEP(), rate, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stolenPct = 100 * float64(res.Result.Stolen+res.Result.Extra) / float64(res.Result.Elapsed)
+			}
+			b.ReportMetric(stolenPct, "stolen-%")
+		})
+	}
+}
+
+// BenchmarkAblationWorldSwitchCost sweeps the EL2 world-switch cost (the
+// dominant virtualization overhead term) and reports the mean detour a
+// secondary VM sees from each primary tick.
+func BenchmarkAblationWorldSwitchCost(b *testing.B) {
+	for _, cycles := range []float64{1000, 3200, 10000, 32000} {
+		cycles := cycles
+		b.Run(fmt.Sprintf("%.0fcy", cycles), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				mcfg := machine.PineA64Config(42)
+				mcfg.Costs.WorldSwitch = sim.Cycles(cycles, mcfg.Freq)
+				s := noise.NewSelfish("ws-sweep", sim.FromSeconds(5))
+				_, err := harness.RunCustom(core.Options{
+					Seed: 42, Manifest: ablationManifest,
+					Scheduler: core.SchedulerKitten, Machine: &mcfg,
+				}, "job", kitten.DefaultParams(), s,
+					func() bool { return s.Result.Finished }, sim.FromSeconds(10))
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = s.Result.DurationsMicros().Mean()
+			}
+			b.ReportMetric(mean, "mean-detour-us")
+		})
+	}
+}
+
+// BenchmarkExtensionGuestKernel compares the kernel *inside* the workload
+// VM: the LWK thesis applies at both layers — a Linux guest brings its
+// own tick and kthreads into the secure partition.
+func BenchmarkExtensionGuestKernel(b *testing.B) {
+	for _, guest := range []harness.GuestKernel{harness.GuestKitten, harness.GuestLinux} {
+		guest := guest
+		b.Run(guest.String(), func(b *testing.B) {
+			var stolenPct float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunWorkloadGuest(harness.KittenVM, guest, workload.NASEP(), 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stolenPct = 100 * float64(res.Stolen) / float64(res.Elapsed)
+			}
+			b.ReportMetric(stolenPct, "stolen-%")
+		})
+	}
+}
+
+// BenchmarkExtensionSharedRing measures the secure shared-memory channel
+// (internal/shmring): producer→consumer throughput across message sizes,
+// with one doorbell per message. The data plane is hypervisor-free; only
+// doorbells that find the consumer asleep cost world switches.
+func BenchmarkExtensionSharedRing(b *testing.B) {
+	for _, size := range []int{256, 4096, 65536} {
+		size := size
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				n, err := core.NewSecureNode(core.Options{
+					Seed: 13, Manifest: `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 128
+
+[vm producer]
+class = secondary
+vcpus = 1
+memory_mb = 128
+
+[vm consumer]
+class = secondary
+vcpus = 1
+memory_mb = 128
+`, Scheduler: core.SchedulerKitten,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				producer, _ := n.Hyp.VMByName("producer")
+				consumer, _ := n.Hyp.VMByName("consumer")
+				prodG := kitten.NewGuest(kitten.DefaultParams())
+				consG := kitten.NewGuest(kitten.DefaultParams())
+				base, _ := producer.RAM()
+				// Guests must be attached before boot; the ring needs the
+				// hypervisor, which exists now.
+				ring, err := shmring.Create(n.Hyp, producer.ID(), consumer.ID(), base, 32, 64<<10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				const count = 200
+				var firstPush, lastRecv sim.Time
+				got := 0
+				consG.OnNotification = func(vc *hafnium.VCPU) {
+					ring.Drain(vc, func(p []byte) {
+						got++
+						lastRecv = vc.Now()
+					}, func(int) {})
+				}
+				payload := make([]byte, size)
+				prodG.Attach(0, osapi.Func{Label: "pusher", Body: func(x osapi.Executor) {
+					firstPush = x.Now()
+					var push func(i int)
+					push = func(i int) {
+						if i == count {
+							x.Done()
+							return
+						}
+						ring.Push(producer.VCPU(0), payload, true, func(err error) {
+							if err != nil {
+								// Ring full: retry after a short spin.
+								x.Exec("backoff", sim.FromMicros(5), func() { push(i) })
+								return
+							}
+							push(i + 1)
+						})
+					}
+					push(0)
+				}})
+				if err := n.AttachGuest("producer", prodG, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := n.AttachGuest("consumer", consG, 1); err != nil {
+					b.Fatal(err)
+				}
+				if err := n.Boot(); err != nil {
+					b.Fatal(err)
+				}
+				n.Run(sim.FromSeconds(30))
+				if got != count {
+					b.Fatalf("received %d/%d", got, count)
+				}
+				mbps = float64(size*count) / lastRecv.Sub(firstPush).Seconds() / 1e6
+			}
+			b.ReportMetric(mbps, "MB/s")
+		})
+	}
+}

@@ -1,0 +1,74 @@
+// Command selfish regenerates the paper's Figures 4–6: selfish-detour
+// noise traces for the three execution configurations. Output is a
+// summary line per configuration plus optional per-detour TSV scatter
+// files suitable for plotting.
+//
+// Usage:
+//
+//	selfish [-config native|kitten|linux|all] [-seconds N] [-seed S] [-outdir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"khsim/internal/harness"
+	"khsim/internal/sim"
+)
+
+func main() {
+	cfgName := flag.String("config", "all", "configuration: native, kitten, linux or all")
+	seconds := flag.Float64("seconds", 30, "spin time in simulated seconds")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	outdir := flag.String("outdir", "", "directory for per-detour TSV scatter files (optional)")
+	flag.Parse()
+
+	var configs []harness.Config
+	switch *cfgName {
+	case "native":
+		configs = []harness.Config{harness.Native}
+	case "kitten":
+		configs = []harness.Config{harness.KittenVM}
+	case "linux":
+		configs = []harness.Config{harness.LinuxVM}
+	case "all":
+		configs = harness.Configs
+	default:
+		fmt.Fprintf(os.Stderr, "selfish: unknown config %q\n", *cfgName)
+		os.Exit(2)
+	}
+
+	figure := map[harness.Config]string{
+		harness.Native:   "fig4",
+		harness.KittenVM: "fig5",
+		harness.LinuxVM:  "fig6",
+	}
+	for _, cfg := range configs {
+		res, err := harness.RunSelfish(cfg, *seed, sim.FromSeconds(*seconds))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selfish: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s  %s\n", figure[cfg], res.Summary())
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "selfish: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outdir, figure[cfg]+"-"+cfg.String()+".tsv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "selfish: %v\n", err)
+				os.Exit(1)
+			}
+			if err := res.WriteTSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "selfish: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("        wrote %s (%d detours)\n", path, res.Count())
+		}
+	}
+}

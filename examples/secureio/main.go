@@ -1,0 +1,122 @@
+// Secureio demonstrates the repository's answer to the paper's biggest
+// open problem (§VII): I/O between isolated partitions "without imposing
+// significant performance overheads". Two secondary VMs communicate
+// through a shared-memory message ring (internal/shmring) built from the
+// two primitives the architecture already has — an FFA memory grant for
+// the data plane and doorbell notifications for signalling — so the
+// hypervisor is only involved per-wakeup, never per-byte.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"khsim"
+	"khsim/internal/hafnium"
+	"khsim/internal/osapi"
+	"khsim/internal/shmring"
+	"khsim/internal/sim"
+)
+
+const manifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 128
+
+[vm sensor]
+class = secondary
+vcpus = 1
+memory_mb = 128
+
+[vm analytics]
+class = secondary
+vcpus = 1
+memory_mb = 256
+secure = false
+`
+
+func main() {
+	node, err := khsim.NewSecureNode(khsim.Options{
+		Seed: 21, Manifest: manifest, Scheduler: khsim.SchedulerKitten,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := node.Hyp
+	sensor, _ := h.VMByName("sensor")
+	analytics, _ := h.VMByName("analytics")
+
+	// The channel: sensor owns the backing pages and shares them to the
+	// analytics VM. Isolation holds throughout (checked below).
+	base, _ := sensor.RAM()
+	ring, err := shmring.Create(h, sensor.ID(), analytics.ID(), base, 16, 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Consumer: wake on doorbell, drain, account.
+	var frames, bytesTotal int
+	consG := khsim.NewKittenGuest()
+	consG.OnNotification = func(vc *hafnium.VCPU) {
+		ring.Drain(vc, func(p []byte) {
+			frames++
+			bytesTotal += len(p)
+		}, func(n int) {})
+	}
+	if err := node.AttachGuest("analytics", consG, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// Producer: a sensor streaming 100 telemetry frames of 4 KiB.
+	prodG := khsim.NewKittenGuest()
+	payload := make([]byte, 4096)
+	prodG.Attach(0, osapi.Func{Label: "sensor", Body: func(x osapi.Executor) {
+		var push func(i int)
+		push = func(i int) {
+			if i == 100 {
+				x.Done()
+				return
+			}
+			ring.Push(sensor.VCPU(0), payload, true, func(err error) {
+				if err != nil {
+					x.Exec("backoff", sim.FromMicros(10), func() { push(i) })
+					return
+				}
+				push(i + 1)
+			})
+		}
+		push(0)
+	}})
+	if err := node.AttachGuest("sensor", prodG, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := node.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	start := node.Machine.Now()
+	node.Run(khsim.Seconds(10))
+
+	if frames != 100 {
+		log.Fatalf("received %d/100 frames", frames)
+	}
+	elapsed := node.Machine.Now().Sub(start)
+	st := ring.Stats()
+	hst := h.Stats()
+	fmt.Printf("transferred %d frames / %d KiB sensor→analytics\n", frames, bytesTotal/1024)
+	fmt.Printf("ring: %d pushes, %d pops, %d doorbells, %d full-rejections\n",
+		st.Pushed, st.Popped, st.Doorbells, st.FullRejections)
+	fmt.Printf("hypervisor involvement: %d notifications, %d world switches total\n",
+		hst.Notifications, hst.WorldSwitches)
+	fmt.Printf("(data plane is hypervisor-free: no per-byte traps)\n")
+	if err := h.VerifyIsolation(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stage-2 isolation invariant holds throughout ✔")
+	// Tear the channel down: the analytics VM loses the mapping.
+	if err := ring.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("channel closed after %v; grant reclaimed ✔\n", elapsed)
+}

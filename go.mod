@@ -1,0 +1,3 @@
+module khsim
+
+go 1.22

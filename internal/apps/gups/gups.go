@@ -1,0 +1,128 @@
+// Package gups implements the HPC Challenge RandomAccess (GUPS)
+// benchmark: XOR updates to random locations of a large table, driven by
+// the HPCC polynomial random stream, with HPCC's own self-verification
+// (re-applying the update stream must restore the table, up to the
+// benchmark's 1% error budget under relaxed ordering — here exactly 0
+// errors because updates are applied serially).
+package gups
+
+import "fmt"
+
+// POLY is the HPCC primitive polynomial for the update stream.
+const POLY = 0x0000000000000007
+
+// PERIOD is the stream's period parameters used by Starts.
+const PERIOD = 1317624576693539401
+
+// NextRandom advances the HPCC random stream one step.
+func NextRandom(x uint64) uint64 {
+	hi := x >> 63
+	x <<= 1
+	if hi != 0 {
+		x ^= POLY
+	}
+	return x
+}
+
+// Starts returns the stream value at position n (HPCC's HPCC_starts),
+// allowing independent streams per updater.
+func Starts(n int64) uint64 {
+	for n < 0 {
+		n += PERIOD
+	}
+	for n > PERIOD {
+		n -= PERIOD
+	}
+	if n == 0 {
+		return 1
+	}
+	var m2 [64]uint64
+	temp := uint64(1)
+	for i := 0; i < 64; i++ {
+		m2[i] = temp
+		temp = NextRandom(NextRandom(temp))
+	}
+	i := 62
+	for i >= 0 && (n>>uint(i))&1 == 0 {
+		i--
+	}
+	ran := uint64(2)
+	for i > 0 {
+		temp = 0
+		for j := 0; j < 64; j++ {
+			if (ran>>uint(j))&1 != 0 {
+				temp ^= m2[j]
+			}
+		}
+		ran = temp
+		i--
+		if (n>>uint(i))&1 != 0 {
+			ran = NextRandom(ran)
+		}
+	}
+	return ran
+}
+
+// Table is the RandomAccess state.
+type Table struct {
+	data []uint64
+	mask uint64
+}
+
+// New builds a table of 2^logSize entries initialized to Table[i]=i.
+func New(logSize int) (*Table, error) {
+	if logSize < 1 || logSize > 30 {
+		return nil, fmt.Errorf("gups: logSize %d out of range", logSize)
+	}
+	n := 1 << logSize
+	t := &Table{data: make([]uint64, n), mask: uint64(n - 1)}
+	for i := range t.data {
+		t.data[i] = uint64(i)
+	}
+	return t, nil
+}
+
+// Size reports the number of table entries.
+func (t *Table) Size() int { return len(t.data) }
+
+// Update applies n updates starting from stream position start and
+// returns the final stream value.
+func (t *Table) Update(start uint64, n int) uint64 {
+	ran := start
+	for i := 0; i < n; i++ {
+		ran = NextRandom(ran)
+		t.data[ran&t.mask] ^= ran
+	}
+	return ran
+}
+
+// RunStandard performs the benchmark's standard 4×table-size updates
+// from the canonical starting position.
+func (t *Table) RunStandard() int {
+	n := 4 * len(t.data)
+	t.Update(Starts(0), n)
+	return n
+}
+
+// Verify re-applies the same update stream (XOR is an involution per
+// (location, value) pair) and counts entries that failed to return to
+// their initial value Table[i]=i. HPCC accepts up to 1% errors; the
+// serial implementation must produce exactly zero.
+func (t *Table) Verify(start uint64, n int) int {
+	t.Update(start, n)
+	errors := 0
+	for i, v := range t.data {
+		if v != uint64(i) {
+			errors++
+		}
+	}
+	return errors
+}
+
+// GUPS converts updates and seconds into giga-updates-per-second.
+func GUPS(updates int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(updates) / seconds * 1e-9
+}

@@ -1,0 +1,113 @@
+package gups
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNextRandomStream(t *testing.T) {
+	// The stream starting at 1 must be deterministic and not repeat over
+	// a short horizon.
+	seen := map[uint64]bool{}
+	x := uint64(1)
+	for i := 0; i < 10000; i++ {
+		x = NextRandom(x)
+		if seen[x] {
+			t.Fatalf("stream repeated after %d steps", i)
+		}
+		seen[x] = true
+	}
+}
+
+func TestStartsMatchesSequentialStream(t *testing.T) {
+	// Starts(n) must equal the value obtained by stepping n times from
+	// Starts(0).
+	x := Starts(0)
+	for n := int64(1); n <= 200; n++ {
+		x = NextRandom(x)
+		if got := Starts(n); got != x {
+			t.Fatalf("Starts(%d) = %#x, want %#x", n, got, x)
+		}
+	}
+	if Starts(0) != Starts(PERIOD) {
+		t.Fatal("period wrap wrong")
+	}
+	if Starts(-5) != Starts(PERIOD-5) {
+		t.Fatal("negative index wrap wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("logSize 0 accepted")
+	}
+	if _, err := New(31); err == nil {
+		t.Fatal("logSize 31 accepted")
+	}
+	tb, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Size() != 1024 {
+		t.Fatalf("size = %d", tb.Size())
+	}
+}
+
+func TestUpdateAndVerifyZeroErrors(t *testing.T) {
+	tb, _ := New(12)
+	n := 4 * tb.Size()
+	start := Starts(0)
+	tb.Update(start, n)
+	if errs := tb.Verify(start, n); errs != 0 {
+		t.Fatalf("verification errors = %d, want 0 (serial updates)", errs)
+	}
+}
+
+func TestRunStandard(t *testing.T) {
+	tb, _ := New(10)
+	n := tb.RunStandard()
+	if n != 4*1024 {
+		t.Fatalf("updates = %d", n)
+	}
+	if errs := tb.Verify(Starts(0), n); errs != 0 {
+		t.Fatalf("errors = %d", errs)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	tb, _ := New(10)
+	n := tb.Size()
+	start := Starts(7)
+	tb.Update(start, n)
+	tb.data[5] ^= 0xdeadbeef
+	if errs := tb.Verify(start, n); errs == 0 {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestGUPSMetric(t *testing.T) {
+	if GUPS(1e9, 1) != 1 {
+		t.Fatal("1e9 updates in 1s should be 1 GUP/s")
+	}
+	if GUPS(100, 0) != 0 {
+		t.Fatal("zero time should yield 0")
+	}
+}
+
+// Property: for any start offset and update count, XOR-involution
+// verification holds.
+func TestQuickUpdateInvolution(t *testing.T) {
+	f := func(seed uint16, nRaw uint16) bool {
+		tb, err := New(8)
+		if err != nil {
+			return false
+		}
+		n := int(nRaw)%2000 + 1
+		start := Starts(int64(seed))
+		tb.Update(start, n)
+		return tb.Verify(start, n) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package hpcg implements the HPCG mini-app's computational core: a
+// preconditioned conjugate-gradient solve on the synthetic 27-point
+// stencil problem, with a symmetric Gauss–Seidel preconditioner, exactly
+// as the reference mini-app defines them (minus MPI and multigrid; the
+// paper runs single-node HPCG). FLOPs are counted the way HPCG reports
+// GFLOP/s.
+package hpcg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Problem is the synthetic HPCG system on an nx×ny×nz grid: interior
+// rows have 27 nonzeros (diagonal 26, off-diagonals −1), boundary rows
+// fewer; b is chosen so the exact solution is all ones.
+type Problem struct {
+	NX, NY, NZ int
+	n          int
+	// CSR-ish storage: per row, column indexes and values.
+	cols [][]int32
+	vals [][]float64
+	diag []float64
+	B    []float64
+}
+
+// NewProblem builds the synthetic system.
+func NewProblem(nx, ny, nz int) (*Problem, error) {
+	if nx < 2 || ny < 2 || nz < 2 {
+		return nil, fmt.Errorf("hpcg: grid %dx%dx%d too small", nx, ny, nz)
+	}
+	p := &Problem{NX: nx, NY: ny, NZ: nz, n: nx * ny * nz}
+	p.cols = make([][]int32, p.n)
+	p.vals = make([][]float64, p.n)
+	p.diag = make([]float64, p.n)
+	p.B = make([]float64, p.n)
+	idx := func(x, y, z int) int32 { return int32(z*nx*ny + y*nx + x) }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				row := idx(x, y, z)
+				var cols []int32
+				var vals []float64
+				rowSum := 0.0
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							cx, cy, cz := x+dx, y+dy, z+dz
+							if cx < 0 || cx >= nx || cy < 0 || cy >= ny || cz < 0 || cz >= nz {
+								continue
+							}
+							col := idx(cx, cy, cz)
+							v := -1.0
+							if col == row {
+								v = 26.0
+								p.diag[row] = v
+							}
+							cols = append(cols, col)
+							vals = append(vals, v)
+							rowSum += v
+						}
+					}
+				}
+				p.cols[row] = cols
+				p.vals[row] = vals
+				// b = A·1: row sum.
+				p.B[row] = rowSum
+			}
+		}
+	}
+	return p, nil
+}
+
+// N reports the number of unknowns.
+func (p *Problem) N() int { return p.n }
+
+// NNZ reports the number of stored nonzeros.
+func (p *Problem) NNZ() int {
+	t := 0
+	for _, c := range p.cols {
+		t += len(c)
+	}
+	return t
+}
+
+// SpMV computes y = A·x.
+func (p *Problem) SpMV(x, y []float64) {
+	for row := 0; row < p.n; row++ {
+		sum := 0.0
+		cols := p.cols[row]
+		vals := p.vals[row]
+		for k, col := range cols {
+			sum += vals[k] * x[col]
+		}
+		y[row] = sum
+	}
+}
+
+// SymGS applies one symmetric Gauss–Seidel sweep to A·x = r in place —
+// HPCG's preconditioner.
+func (p *Problem) SymGS(r, x []float64) {
+	// Forward sweep.
+	for row := 0; row < p.n; row++ {
+		sum := r[row]
+		cols := p.cols[row]
+		vals := p.vals[row]
+		for k, col := range cols {
+			sum -= vals[k] * x[col]
+		}
+		sum += p.diag[row] * x[row]
+		x[row] = sum / p.diag[row]
+	}
+	// Backward sweep.
+	for row := p.n - 1; row >= 0; row-- {
+		sum := r[row]
+		cols := p.cols[row]
+		vals := p.vals[row]
+		for k, col := range cols {
+			sum -= vals[k] * x[col]
+		}
+		sum += p.diag[row] * x[row]
+		x[row] = sum / p.diag[row]
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// waxpby computes w = alpha*x + beta*y.
+func waxpby(alpha float64, x []float64, beta float64, y, w []float64) {
+	for i := range w {
+		w[i] = alpha*x[i] + beta*y[i]
+	}
+}
+
+// Result summarizes a CG solve.
+type Result struct {
+	Iterations    int
+	InitialResid  float64
+	FinalResid    float64
+	FLOPs         float64
+	SolutionError float64 // ‖x − 1‖∞, since the exact solution is ones
+}
+
+// GFLOPs reports the achieved rate for a given elapsed time in seconds.
+func (r Result) GFLOPs(seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return r.FLOPs / seconds * 1e-9
+}
+
+// Solve runs preconditioned CG for maxIter iterations or until the
+// residual drops by tol relative to the initial residual.
+func (p *Problem) Solve(maxIter int, tol float64) (Result, error) {
+	n := p.n
+	x := make([]float64, n)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	q := make([]float64, n)
+	pv := make([]float64, n)
+	var res Result
+	nnz := float64(p.NNZ())
+
+	// r = b − A·x (x = 0).
+	copy(r, p.B)
+	normr0 := math.Sqrt(dot(r, r))
+	res.InitialResid = normr0
+	res.FLOPs += 2 * float64(n)
+	if normr0 == 0 {
+		return res, nil
+	}
+	// z = M⁻¹ r ; p = z.
+	for i := range z {
+		z[i] = 0
+	}
+	p.SymGS(r, z)
+	res.FLOPs += 4 * nnz
+	copy(pv, z)
+	rz := dot(r, z)
+	res.FLOPs += 2 * float64(n)
+
+	normr := normr0
+	for k := 1; k <= maxIter && normr/normr0 > tol; k++ {
+		p.SpMV(pv, q)
+		res.FLOPs += 2 * nnz
+		pq := dot(pv, q)
+		res.FLOPs += 2 * float64(n)
+		if pq <= 0 {
+			return res, fmt.Errorf("hpcg: matrix not SPD (p·Ap = %v at iter %d)", pq, k)
+		}
+		alpha := rz / pq
+		waxpby(1, x, alpha, pv, x)
+		waxpby(1, r, -alpha, q, r)
+		res.FLOPs += 4 * float64(n)
+		normr = math.Sqrt(dot(r, r))
+		res.FLOPs += 2 * float64(n)
+		for i := range z {
+			z[i] = 0
+		}
+		p.SymGS(r, z)
+		res.FLOPs += 4 * nnz
+		rzNew := dot(r, z)
+		res.FLOPs += 2 * float64(n)
+		beta := rzNew / rz
+		rz = rzNew
+		waxpby(1, z, beta, pv, pv)
+		res.FLOPs += 2 * float64(n)
+		res.Iterations = k
+	}
+	res.FinalResid = normr
+	for i := range x {
+		if e := math.Abs(x[i] - 1); e > res.SolutionError {
+			res.SolutionError = e
+		}
+	}
+	return res, nil
+}
+
+// CheckSymmetry verifies x·(A·y) == y·(A·x) for given probe vectors —
+// HPCG's own consistency check.
+func (p *Problem) CheckSymmetry(x, y []float64) float64 {
+	ax := make([]float64, p.n)
+	ay := make([]float64, p.n)
+	p.SpMV(x, ax)
+	p.SpMV(y, ay)
+	return math.Abs(dot(x, ay) - dot(y, ax))
+}

@@ -1,0 +1,184 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+)
+
+// SparseMatrix is a symmetric positive-definite matrix in CSR form.
+type SparseMatrix struct {
+	N    int
+	Rows [][]int32
+	Vals [][]float64
+}
+
+// NewCGMatrix generates a deterministic SPD sparse matrix in the spirit
+// of NPB CG's makea: a random symmetric pattern with nonzerosPerRow
+// entries per row drawn from the NPB random stream, made strictly
+// diagonally dominant with the benchmark's shift added to the diagonal.
+func NewCGMatrix(n, nonzerosPerRow int, shift float64) (*SparseMatrix, error) {
+	if n < 4 || nonzerosPerRow < 2 || nonzerosPerRow > n/2 {
+		return nil, fmt.Errorf("npb: bad CG matrix shape n=%d nnz/row=%d", n, nonzerosPerRow)
+	}
+	// Accumulate the symmetric pattern in maps, then flatten sorted.
+	entries := make([]map[int32]float64, n)
+	for i := range entries {
+		entries[i] = map[int32]float64{}
+	}
+	x := DefaultSeed
+	for i := 0; i < n; i++ {
+		for k := 0; k < nonzerosPerRow; k++ {
+			j := int32(Randlc(&x, DefaultA) * float64(n))
+			if j >= int32(n) {
+				j = int32(n - 1)
+			}
+			v := Randlc(&x, DefaultA) - 0.5
+			if int(j) == i {
+				continue
+			}
+			entries[i][j] += v
+			entries[int(j)][int32(i)] += v
+		}
+	}
+	m := &SparseMatrix{N: n, Rows: make([][]int32, n), Vals: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		offSum := 0.0
+		var cols []int32
+		for j := range entries[i] {
+			cols = append(cols, j)
+		}
+		// Sorted columns for determinism (map iteration is random).
+		for a := 1; a < len(cols); a++ {
+			for b := a; b > 0 && cols[b] < cols[b-1]; b-- {
+				cols[b], cols[b-1] = cols[b-1], cols[b]
+			}
+		}
+		row := make([]int32, 0, len(cols)+1)
+		vals := make([]float64, 0, len(cols)+1)
+		inserted := false
+		for _, j := range cols {
+			v := entries[i][j]
+			offSum += math.Abs(v)
+			if !inserted && j > int32(i) {
+				row = append(row, int32(i))
+				vals = append(vals, 0) // placeholder, fixed below
+				inserted = true
+			}
+			row = append(row, j)
+			vals = append(vals, v)
+		}
+		if !inserted {
+			row = append(row, int32(i))
+			vals = append(vals, 0)
+		}
+		// Strict dominance: diag = shift + Σ|off| + 1.
+		for k, j := range row {
+			if j == int32(i) {
+				vals[k] = shift + offSum + 1
+			}
+		}
+		m.Rows[i] = row
+		m.Vals[i] = vals
+	}
+	return m, nil
+}
+
+// MulVec computes y = A·x.
+func (m *SparseMatrix) MulVec(x, y []float64) {
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		cols := m.Rows[i]
+		vals := m.Vals[i]
+		for k, j := range cols {
+			s += vals[k] * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// SymmetryDefect reports |x·Ay − y·Ax| for probe vectors derived from the
+// NPB stream — zero for a symmetric matrix up to rounding.
+func (m *SparseMatrix) SymmetryDefect() float64 {
+	x := make([]float64, m.N)
+	y := make([]float64, m.N)
+	s := DefaultSeed
+	for i := range x {
+		x[i] = Randlc(&s, DefaultA)
+		y[i] = Randlc(&s, DefaultA)
+	}
+	ax := make([]float64, m.N)
+	ay := make([]float64, m.N)
+	m.MulVec(x, ax)
+	m.MulVec(y, ay)
+	return math.Abs(dotv(x, ay) - dotv(y, ax))
+}
+
+func dotv(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// CGResult is the outcome of the NPB CG benchmark loop.
+type CGResult struct {
+	Zeta       float64 // eigenvalue-shift estimate
+	FinalRNorm float64 // ‖r‖ of the last inner solve
+	Iterations int     // outer iterations
+	Ops        float64 // floating-point operations
+}
+
+// RunCG performs the NPB CG outer loop: niter inverse power iterations,
+// each using cgIters conjugate-gradient steps to solve A·z = x, updating
+// zeta = shift + 1/(x·z).
+func RunCG(m *SparseMatrix, shift float64, niter, cgIters int) CGResult {
+	n := m.N
+	x := make([]float64, n)
+	z := make([]float64, n)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	q := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	var res CGResult
+	nnz := 0
+	for i := range m.Rows {
+		nnz += len(m.Rows[i])
+	}
+	for it := 1; it <= niter; it++ {
+		// Inner CG: solve A z = x starting from z = 0.
+		for i := range z {
+			z[i] = 0
+			r[i] = x[i]
+			p[i] = x[i]
+		}
+		rho := dotv(r, r)
+		for k := 0; k < cgIters; k++ {
+			m.MulVec(p, q)
+			alpha := rho / dotv(p, q)
+			for i := range z {
+				z[i] += alpha * p[i]
+				r[i] -= alpha * q[i]
+			}
+			rho0 := rho
+			rho = dotv(r, r)
+			beta := rho / rho0
+			for i := range p {
+				p[i] = r[i] + beta*p[i]
+			}
+			res.Ops += 2*float64(nnz) + 10*float64(n)
+		}
+		res.FinalRNorm = math.Sqrt(rho)
+		// zeta update and x = z/‖z‖.
+		res.Zeta = shift + 1/dotv(x, z)
+		znorm := math.Sqrt(dotv(z, z))
+		for i := range x {
+			x[i] = z[i] / znorm
+		}
+		res.Ops += 6 * float64(n)
+		res.Iterations = it
+	}
+	return res
+}

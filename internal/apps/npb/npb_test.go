@@ -1,0 +1,237 @@
+package npb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandlcFirstValues(t *testing.T) {
+	// The NPB stream is fully deterministic; pin the first few variates
+	// (computed by this implementation, cross-checked against the
+	// published EP class-S results below, which depend on every bit).
+	x := DefaultSeed
+	u1 := Randlc(&x, DefaultA)
+	u2 := Randlc(&x, DefaultA)
+	if u1 <= 0 || u1 >= 1 || u2 <= 0 || u2 >= 1 {
+		t.Fatalf("variates out of range: %v %v", u1, u2)
+	}
+	// Determinism.
+	y := DefaultSeed
+	if v := Randlc(&y, DefaultA); v != u1 {
+		t.Fatalf("stream not reproducible: %v vs %v", v, u1)
+	}
+}
+
+func TestRandlcUniformity(t *testing.T) {
+	x := DefaultSeed
+	var buckets [10]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		u := Randlc(&x, DefaultA)
+		buckets[int(u*10)]++
+	}
+	for b, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("bucket %d count %d far from uniform", b, c)
+		}
+	}
+}
+
+func TestVranlcMatchesScalar(t *testing.T) {
+	x1 := DefaultSeed
+	x2 := DefaultSeed
+	out := make([]float64, 50)
+	Vranlc(50, &x1, DefaultA, out)
+	for i := 0; i < 50; i++ {
+		if v := Randlc(&x2, DefaultA); v != out[i] {
+			t.Fatalf("vranlc[%d] mismatch", i)
+		}
+	}
+	if x1 != x2 {
+		t.Fatal("seeds diverged")
+	}
+}
+
+func TestPowMod46JumpsStream(t *testing.T) {
+	// a^n applied to the seed must equal n sequential steps.
+	x := DefaultSeed
+	for i := 0; i < 100; i++ {
+		Randlc(&x, DefaultA)
+	}
+	jump := DefaultSeed
+	an := PowMod46(DefaultA, 100)
+	Randlc(&jump, an)
+	// After multiplying by a^100, the seed equals x... but Randlc's
+	// return path also mutated jump as seed*an mod 2^46.
+	if jump != x {
+		t.Fatalf("jumped seed %v != stepped seed %v", jump, x)
+	}
+}
+
+// TestEPClassS verifies against the published NPB EP class-S (M=24)
+// reference: 13176389 accepted pairs, sx=-3247.834652..., sy=-6958.407...
+func TestEPClassS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class S takes ~1s")
+	}
+	r := EP(24)
+	sxErr, syErr, countOK := r.VerifyClassS()
+	if !countOK {
+		t.Fatalf("count = %d", r.Count)
+	}
+	if sxErr > 1e-8 || syErr > 1e-8 {
+		t.Fatalf("sum errors: sx %v, sy %v", sxErr, syErr)
+	}
+	// Annulus counts must total the accepted count.
+	var qsum int64
+	for _, q := range r.Q {
+		qsum += q
+	}
+	if qsum != r.Count {
+		t.Fatalf("q sum %d != count %d", qsum, r.Count)
+	}
+	if r.Ops <= 0 {
+		t.Fatal("no ops counted")
+	}
+}
+
+func TestEPSmallDeterministic(t *testing.T) {
+	a := EP(12)
+	b := EP(12)
+	if a.SX != b.SX || a.Count != b.Count {
+		t.Fatal("EP not deterministic")
+	}
+	if a.Pairs != 4096 {
+		t.Fatalf("pairs = %d", a.Pairs)
+	}
+	// Acceptance rate of the polar method is π/4 ≈ 0.785.
+	rate := float64(a.Count) / float64(a.Pairs)
+	if rate < 0.75 || rate > 0.82 {
+		t.Fatalf("acceptance rate %v", rate)
+	}
+}
+
+func TestCGMatrix(t *testing.T) {
+	m, err := NewCGMatrix(200, 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCGMatrix(2, 8, 20); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+	if d := m.SymmetryDefect(); d > 1e-9 {
+		t.Fatalf("symmetry defect %v", d)
+	}
+	// Diagonal dominance ⇒ SPD: x·Ax > 0 for a probe.
+	x := make([]float64, m.N)
+	y := make([]float64, m.N)
+	s := DefaultSeed
+	for i := range x {
+		x[i] = Randlc(&s, DefaultA) - 0.5
+	}
+	m.MulVec(x, y)
+	if dotv(x, y) <= 0 {
+		t.Fatal("matrix not positive definite")
+	}
+}
+
+func TestRunCGConverges(t *testing.T) {
+	m, _ := NewCGMatrix(300, 10, 20)
+	r1 := RunCG(m, 20, 5, 15)
+	if r1.Iterations != 5 || r1.Ops <= 0 {
+		t.Fatalf("bookkeeping: %+v", r1)
+	}
+	// The inner residual must be small (CG on a well-conditioned SPD
+	// system converges fast).
+	if r1.FinalRNorm > 1e-6 {
+		t.Fatalf("inner CG residual %v", r1.FinalRNorm)
+	}
+	// zeta stabilizes: after enough outer iterations one more barely
+	// moves it (inverse power iteration convergence).
+	r20 := RunCG(m, 20, 20, 15)
+	r21 := RunCG(m, 20, 21, 15)
+	if math.Abs(r21.Zeta-r20.Zeta) > 1e-3*math.Abs(r20.Zeta) {
+		t.Fatalf("zeta not converged: %v vs %v", r20.Zeta, r21.Zeta)
+	}
+	// Determinism (golden): zeta is stable across runs.
+	r3 := RunCG(m, 20, 5, 15)
+	if r3.Zeta != r1.Zeta {
+		t.Fatal("CG not deterministic")
+	}
+}
+
+func TestGrid3DModelProblem(t *testing.T) {
+	g, err := NewGrid3D(10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGrid3D(2, 10, 10); err == nil {
+		t.Fatal("bad grid accepted")
+	}
+	// The exact solution has a small discretization residual.
+	for i := range g.U {
+		g.U[i] = g.Ex[i]
+	}
+	r := g.Residual()
+	// Truncation error of the 7-point stencil at h=1/9: O(h²·π⁴).
+	if r > 10 {
+		t.Fatalf("exact-solution residual %v unexpectedly large", r)
+	}
+	if g.SolutionError() != 0 {
+		t.Fatal("error of exact solution nonzero")
+	}
+}
+
+func TestLUSSORConverges(t *testing.T) {
+	g, _ := NewGrid3D(12, 12, 12)
+	res := LUSSOR(g, 60, 1.2)
+	if res.FinalResid >= res.InitialResid/100 {
+		t.Fatalf("SSOR stalled: %v → %v", res.InitialResid, res.FinalResid)
+	}
+	if g.SolutionError() > 0.02 {
+		t.Fatalf("solution error %v", g.SolutionError())
+	}
+	if res.Sweeps != 60 || res.Ops <= 0 {
+		t.Fatalf("bookkeeping: %+v", res)
+	}
+}
+
+func TestSPADIConverges(t *testing.T) {
+	g, _ := NewGrid3D(12, 12, 12)
+	res := SPADI(g, 40)
+	if res.FinalResid >= res.InitialResid/100 {
+		t.Fatalf("ADI stalled: %v → %v", res.InitialResid, res.FinalResid)
+	}
+	if g.SolutionError() > 0.02 {
+		t.Fatalf("solution error %v", g.SolutionError())
+	}
+}
+
+func TestBTADIConverges(t *testing.T) {
+	st, err := NewBTState(12, 12, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := BTADI(st, 40)
+	if res.FinalResid >= res.InitialResid/100 {
+		t.Fatalf("block ADI stalled: %v → %v", res.InitialResid, res.FinalResid)
+	}
+	// Both components converge to the same manufactured solution.
+	if st.G.SolutionError() > 0.02 || st.VError() > 0.02 {
+		t.Fatalf("solution errors u=%v v=%v", st.G.SolutionError(), st.VError())
+	}
+}
+
+func TestADIFasterThanSSORPerSweep(t *testing.T) {
+	// Line solves propagate information along whole lines per sweep, so
+	// ADI needs fewer sweeps than point-SSOR for the same reduction —
+	// a structural sanity check that the two kernels differ as intended.
+	g1, _ := NewGrid3D(12, 12, 12)
+	g2, _ := NewGrid3D(12, 12, 12)
+	ssor := LUSSOR(g1, 10, 1.0)
+	adi := SPADI(g2, 10)
+	if adi.FinalResid >= ssor.FinalResid {
+		t.Fatalf("ADI (%v) not faster than point-SSOR (%v) per sweep",
+			adi.FinalResid, ssor.FinalResid)
+	}
+}

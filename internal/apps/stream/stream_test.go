@@ -1,0 +1,87 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialValues(t *testing.T) {
+	d := New(100)
+	if d.N() != 100 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if d.A[0] != 1 || d.B[99] != 2 || d.C[50] != 0 {
+		t.Fatal("initial values wrong")
+	}
+}
+
+func TestKernelsAndBytes(t *testing.T) {
+	d := New(1000)
+	if b := d.Copy(); b != 16000 {
+		t.Fatalf("copy bytes = %d", b)
+	}
+	if d.C[123] != d.A[123] {
+		t.Fatal("copy wrong")
+	}
+	if b := d.Scale(); b != 16000 {
+		t.Fatalf("scale bytes = %d", b)
+	}
+	if d.B[7] != 3*d.C[7] {
+		t.Fatal("scale wrong")
+	}
+	if b := d.Add(); b != 24000 {
+		t.Fatalf("add bytes = %d", b)
+	}
+	if b := d.Triad(); b != 24000 {
+		t.Fatalf("triad bytes = %d", b)
+	}
+}
+
+func TestRunVerify(t *testing.T) {
+	for _, iters := range []int{1, 2, 10, 37} {
+		d := New(512)
+		bytes := d.Run(iters)
+		if bytes != uint64(iters)*512*(16+16+24+24) {
+			t.Fatalf("bytes = %d for %d iters", bytes, iters)
+		}
+		maxErr, err := d.Verify(iters)
+		if err != nil {
+			t.Fatalf("iters=%d: %v", iters, err)
+		}
+		if maxErr > 1e-13 {
+			t.Fatalf("iters=%d: max rel err %v", iters, maxErr)
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	d := New(64)
+	d.Run(3)
+	d.A[10] *= 1.5
+	if _, err := d.Verify(3); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestVerifyWrongIterationCount(t *testing.T) {
+	d := New(64)
+	d.Run(4)
+	if _, err := d.Verify(5); err == nil {
+		t.Fatal("wrong iteration count not detected")
+	}
+}
+
+// Property: verification passes for any (n, iters) in range.
+func TestQuickVerifyAlwaysPasses(t *testing.T) {
+	f := func(nRaw, itRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		iters := int(itRaw)%20 + 1
+		d := New(n)
+		d.Run(iters)
+		_, err := d.Verify(iters)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package boot
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"testing"
+)
+
+func testKeys(t *testing.T) (ed25519.PublicKey, ed25519.PrivateKey) {
+	t.Helper()
+	seed := bytes.Repeat([]byte{0x42}, ed25519.SeedSize)
+	priv := ed25519.NewKeyFromSeed(seed)
+	return priv.Public().(ed25519.PublicKey), priv
+}
+
+func bootAll(t *testing.T, c *Chain) {
+	t.Helper()
+	for s := BL2; s <= PrimaryVM; s++ {
+		if err := c.HandOff(s, Image{Name: s.String(), Payload: []byte(s.String())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for s := BL1; s <= PrimaryVM; s++ {
+		if s.String() == "" {
+			t.Fatal("empty stage name")
+		}
+	}
+}
+
+func TestOrderedHandOff(t *testing.T) {
+	c := NewChain(nil)
+	if c.Current() != BL1 {
+		t.Fatal("boot does not start at BL1")
+	}
+	bootAll(t, c)
+	if !c.Sealed() || c.Current() != PrimaryVM {
+		t.Fatal("chain not sealed at primary VM")
+	}
+	if err := c.HandOff(PrimaryVM, Image{Name: "again", Payload: []byte("x")}); err == nil {
+		t.Fatal("hand-off after seal accepted")
+	}
+}
+
+func TestOutOfOrderHandOffRejected(t *testing.T) {
+	c := NewChain(nil)
+	if err := c.HandOff(BL31, Image{Name: "skip", Payload: []byte("x")}); err == nil {
+		t.Fatal("stage skip accepted")
+	}
+	if err := c.HandOff(BL2, Image{Name: "empty"}); err == nil {
+		t.Fatal("empty image accepted")
+	}
+}
+
+func TestPCRReflectsEveryImage(t *testing.T) {
+	c1 := NewChain(nil)
+	c2 := NewChain(nil)
+	bootAll(t, c1)
+	// Same chain but one bit flipped in BL31's image.
+	c2.HandOff(BL2, Image{Name: "BL2", Payload: []byte("BL2")})
+	c2.HandOff(BL31, Image{Name: "BL31", Payload: []byte("BL31-tampered")})
+	c2.HandOff(SPM, Image{Name: "SPM", Payload: []byte("SPM")})
+	c2.HandOff(PrimaryVM, Image{Name: "PrimaryVM", Payload: []byte("PrimaryVM")})
+	if c1.PCR() == c2.PCR() {
+		t.Fatal("tampered chain produced identical PCR")
+	}
+}
+
+func TestAttestAndReplay(t *testing.T) {
+	c := NewChain(nil)
+	if _, err := c.Attest(); err == nil {
+		t.Fatal("attestation before boot completes accepted")
+	}
+	bootAll(t, c)
+	att, err := c.Attest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ReplayLog(att.Log) != att.PCR {
+		t.Fatal("log replay does not reproduce PCR")
+	}
+	if len(att.Log.Entries) != 4 {
+		t.Fatalf("log entries = %d", len(att.Log.Entries))
+	}
+	// Tampering with the log is detectable.
+	att.Log.Entries[1].Digest = sha256.Sum256([]byte("evil"))
+	if ReplayLog(att.Log) == att.PCR {
+		t.Fatal("tampered log replayed to same PCR")
+	}
+}
+
+func TestVerifyImage(t *testing.T) {
+	pub, priv := testKeys(t)
+	c := NewChain(pub)
+	bootAll(t, c)
+	img := Image{Name: "job-vm", Payload: []byte("secure workload image")}
+	SignImage(priv, &img)
+	d, err := c.VerifyImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != img.Digest() {
+		t.Fatal("digest mismatch")
+	}
+	// Unsigned image rejected.
+	if _, err := c.VerifyImage(Image{Name: "raw", Payload: []byte("x")}); err == nil {
+		t.Fatal("unsigned image accepted")
+	}
+	// Tampered payload rejected.
+	img.Payload = append(img.Payload, 'z')
+	if _, err := c.VerifyImage(img); err == nil {
+		t.Fatal("tampered image accepted")
+	}
+	// Wrong key rejected.
+	otherPriv := ed25519.NewKeyFromSeed(bytes.Repeat([]byte{7}, ed25519.SeedSize))
+	img2 := Image{Name: "other", Payload: []byte("y")}
+	SignImage(otherPriv, &img2)
+	if _, err := c.VerifyImage(img2); err == nil {
+		t.Fatal("wrong-key image accepted")
+	}
+	// No root key → feature unavailable.
+	c2 := NewChain(nil)
+	bootAll(t, c2)
+	if _, err := c2.VerifyImage(img2); err == nil {
+		t.Fatal("verification without root key accepted")
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"testing"
+
+	"khsim/internal/boot"
+	"khsim/internal/hafnium"
+	"khsim/internal/kitten"
+	"khsim/internal/machine"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+)
+
+const testManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 128
+
+[vm job]
+class = secondary
+vcpus = 1
+memory_mb = 128
+`
+
+type tinyProc struct {
+	d        sim.Duration
+	finished bool
+}
+
+func (p *tinyProc) Name() string { return "tiny" }
+func (p *tinyProc) Main(x osapi.Executor) {
+	x.Run(&machine.Activity{Label: "tiny", Remaining: p.d, OnComplete: func() {
+		p.finished = true
+		x.Done()
+	}})
+}
+
+func testKeys() (ed25519.PublicKey, ed25519.PrivateKey) {
+	priv := ed25519.NewKeyFromSeed(bytes.Repeat([]byte{9}, ed25519.SeedSize))
+	return priv.Public().(ed25519.PublicKey), priv
+}
+
+func buildNode(t *testing.T, sched Scheduler) (*SecureNode, *tinyProc) {
+	t.Helper()
+	pub, _ := testKeys()
+	n, err := NewSecureNode(Options{
+		Seed: 1, Manifest: testManifest, Scheduler: sched, RootKey: pub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &tinyProc{d: sim.FromSeconds(0.05)}
+	g := kitten.NewGuest(kitten.DefaultParams())
+	g.Attach(0, p)
+	if err := n.AttachGuest("job", g); err != nil {
+		t.Fatal(err)
+	}
+	return n, p
+}
+
+func TestSecureNodeKittenScheduler(t *testing.T) {
+	n, p := buildNode(t, SchedulerKitten)
+	if n.KittenPrimary == nil || n.LinuxPrimary != nil {
+		t.Fatal("kernel selection wrong")
+	}
+	if err := n.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Boot(); err == nil {
+		t.Fatal("double boot accepted")
+	}
+	n.Run(sim.FromSeconds(0.5))
+	if !p.finished {
+		t.Fatal("guest workload unfinished")
+	}
+}
+
+func TestSecureNodeLinuxScheduler(t *testing.T) {
+	n, p := buildNode(t, SchedulerLinux)
+	if n.LinuxPrimary == nil || n.KittenPrimary != nil {
+		t.Fatal("kernel selection wrong")
+	}
+	if err := n.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(sim.FromSeconds(0.5))
+	if !p.finished {
+		t.Fatal("guest workload unfinished")
+	}
+}
+
+func TestSecureNodeValidation(t *testing.T) {
+	if _, err := NewSecureNode(Options{Manifest: "garbage = yes"}); err == nil {
+		t.Fatal("bad manifest accepted")
+	}
+	if _, err := NewSecureNode(Options{Manifest: testManifest, Scheduler: Scheduler(9)}); err == nil {
+		t.Fatal("bad scheduler accepted")
+	}
+	n, _ := buildNode(t, SchedulerKitten)
+	if err := n.AttachGuest("nosuch", kitten.NewGuest(kitten.DefaultParams())); err == nil {
+		t.Fatal("unknown VM accepted")
+	}
+	if SchedulerKitten.String() == SchedulerLinux.String() {
+		t.Fatal("scheduler names collide")
+	}
+}
+
+func TestAttestationAfterBoot(t *testing.T) {
+	n, _ := buildNode(t, SchedulerKitten)
+	if _, err := n.Attestation(); err == nil {
+		t.Fatal("attestation before boot accepted")
+	}
+	if err := n.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	att, err := n.Attestation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot.ReplayLog(att.Log) != att.PCR {
+		t.Fatal("attestation log does not replay")
+	}
+	// 4 measured stages: BL2, BL31, SPM, PrimaryVM.
+	if len(att.Log.Entries) != 4 {
+		t.Fatalf("log entries = %d", len(att.Log.Entries))
+	}
+	// The primary kernel choice is measured: a Linux node attests
+	// differently.
+	n2, _ := buildNode(t, SchedulerLinux)
+	n2.Boot()
+	att2, _ := n2.Attestation()
+	if att.PCR == att2.PCR {
+		t.Fatal("kitten and linux primaries attest identically")
+	}
+}
+
+func TestLaunchSignedVM(t *testing.T) {
+	pub, priv := testKeys()
+	_ = pub
+	n, _ := buildNode(t, SchedulerKitten)
+	if err := n.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(sim.FromSeconds(0.3)) // let the tiny job finish and block
+	if err := n.StopVM("job"); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(sim.FromSeconds(0.1))
+
+	img := boot.Image{Name: "job-v2", Payload: []byte("new image")}
+	// Unsigned: rejected.
+	if _, err := n.LaunchSignedVM("job", img); err == nil {
+		t.Fatal("unsigned image launched")
+	}
+	boot.SignImage(priv, &img)
+	digest, err := n.LaunchSignedVM("job", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != img.Digest() {
+		t.Fatal("digest mismatch")
+	}
+	job, _ := n.Hyp.VMByName("job")
+	if job.State() != hafnium.VMRunning {
+		t.Fatalf("job state = %v", job.State())
+	}
+	// Unknown VM.
+	if _, err := n.LaunchSignedVM("ghost", img); err == nil {
+		t.Fatal("unknown VM launched")
+	}
+	if err := n.StopVM("ghost"); err == nil {
+		t.Fatal("unknown VM stopped")
+	}
+}
+
+func TestNativeNode(t *testing.T) {
+	n, err := NewNativeNode(3, kitten.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &tinyProc{d: sim.FromSeconds(0.02)}
+	if _, err := n.Kernel.Spawn("tiny", 0, p); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(sim.FromSeconds(0.2))
+	if !p.finished {
+		t.Fatal("native process unfinished")
+	}
+}

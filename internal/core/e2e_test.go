@@ -1,0 +1,165 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"os"
+	"strings"
+	"testing"
+
+	"khsim/internal/boot"
+	"khsim/internal/hafnium"
+	"khsim/internal/kitten"
+	"khsim/internal/linuxos"
+	"khsim/internal/sim"
+	"khsim/internal/workload"
+)
+
+// TestEndToEndLoginNodeScenario drives the complete paper architecture
+// through a realistic lifecycle using the shipped login-node manifest:
+//
+//  1. measured boot with a provisioned root key,
+//  2. a Linux login VM owning the devices,
+//  3. an HPCG job in a non-secure partition and a second job in the
+//     TrustZone secure partition,
+//  4. job control from the login VM through the mailbox channel,
+//  5. a device interrupt forwarded to the login VM,
+//  6. stop + signed relaunch of a partition (§VII),
+//  7. attestation verification at the end.
+func TestEndToEndLoginNodeScenario(t *testing.T) {
+	manifestBytes, err := os.ReadFile("../../manifests/login-node.manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]byte, ed25519.SeedSize)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	pub := priv.Public().(ed25519.PublicKey)
+
+	n, err := NewSecureNode(Options{
+		Seed:      2026,
+		Manifest:  string(manifestBytes),
+		Scheduler: SchedulerKitten,
+		RootKey:   pub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Login VM: Linux guest collecting replies and device interrupts.
+	var replies []string
+	var deviceIRQs []int
+	login := linuxos.NewGuest(linuxos.DefaultParams(), 2026)
+	login.OnMessage = func(vc *hafnium.VCPU, msg hafnium.Message) {
+		replies = append(replies, string(msg.Payload))
+	}
+	login.OnDeviceIRQ = func(vc *hafnium.VCPU, virq int) {
+		deviceIRQs = append(deviceIRQs, virq)
+	}
+	if err := n.AttachGuest("login", login, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// job0: HPCG in the non-secure partition.
+	job0 := workload.New(workload.HPCG(), workload.Env{TwoStage: true, RNG: sim.NewRNG(1)})
+	g0 := kitten.NewGuest(kitten.DefaultParams())
+	g0.Attach(0, job0)
+	if err := n.AttachGuest("job0", g0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// job1: a long computation in the secure partition.
+	job1 := workload.New(workload.NASEP(), workload.Env{TwoStage: true, RNG: sim.NewRNG(2)})
+	g1 := kitten.NewGuest(kitten.DefaultParams())
+	g1.Attach(0, job1)
+	if err := n.AttachGuest("job1", g1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := n.Boot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The secure job's frames must be in the TrustZone carve-out.
+	j1, _ := n.Hyp.VMByName("job1")
+	base, _ := j1.RAM()
+	pa, err := j1.TranslateIPA(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Monitor.CanAccess(0 /* NonSecure */, pa, 4096) {
+		t.Fatal("secure job memory reachable from the non-secure world")
+	}
+
+	// Run; query status from the login VM over the mailbox.
+	n.Run(sim.FromSeconds(0.5))
+	loginVM := n.Hyp.Super()
+	if err := loginVM.VCPU(0).SendMessage(hafnium.PrimaryID, []byte("status job0")); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(sim.FromSeconds(0.5))
+	if len(replies) != 1 || !strings.Contains(replies[0], "running") {
+		t.Fatalf("status replies = %q", replies)
+	}
+
+	// Device interrupt → forwarded into the login VM.
+	const mmc = 44
+	n.Machine.GIC.Enable(mmc)
+	n.Machine.GIC.Route(mmc, 0)
+	n.Machine.GIC.RaiseSPI(mmc)
+	n.Run(sim.FromSeconds(0.5))
+	if len(deviceIRQs) != 1 || deviceIRQs[0] != mmc {
+		t.Fatalf("device IRQs = %v", deviceIRQs)
+	}
+
+	// Let both jobs complete.
+	n.Run(sim.FromSeconds(8))
+	if !job0.Result.Finished || !job1.Result.Finished {
+		t.Fatalf("job0=%v job1=%v", job0.Result.Finished, job1.Result.Finished)
+	}
+	if job0.Result.Rate < 0.0017 || job0.Result.Rate > 0.0019 {
+		t.Fatalf("job0 HPCG rate = %v", job0.Result.Rate)
+	}
+
+	// Stop job0 via the control channel, then relaunch it with a signed
+	// image.
+	if err := loginVM.VCPU(0).SendMessage(hafnium.PrimaryID, []byte("stop job0")); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(sim.FromSeconds(0.5))
+	j0, _ := n.Hyp.VMByName("job0")
+	if j0.State() != hafnium.VMStopped {
+		t.Fatalf("job0 state = %v", j0.State())
+	}
+	img := boot.Image{Name: "job0-v2", Payload: []byte("updated workload image")}
+	boot.SignImage(priv, &img)
+	if _, err := n.LaunchSignedVM("job0", img); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(sim.FromSeconds(0.5))
+	if j0.State() != hafnium.VMRunning {
+		t.Fatalf("job0 state after relaunch = %v", j0.State())
+	}
+
+	// Attestation still replays, and the isolation invariant held
+	// throughout.
+	att, err := n.Attestation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boot.ReplayLog(att.Log) != att.PCR {
+		t.Fatal("attestation replay mismatch")
+	}
+	if err := n.Hyp.VerifyIsolation(); err != nil {
+		t.Fatal(err)
+	}
+	// CPU accounting: both jobs consumed seconds of core time; the login
+	// VM only slivers.
+	if n.Hyp.CPUTime(j0.ID()) < sim.FromSeconds(3) {
+		t.Fatalf("job0 cpu = %v", n.Hyp.CPUTime(j0.ID()))
+	}
+	if n.Hyp.CPUTime(loginVM.ID()) > sim.FromSeconds(1) {
+		t.Fatalf("login cpu = %v, expected mostly idle", n.Hyp.CPUTime(loginVM.ID()))
+	}
+}

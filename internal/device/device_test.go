@@ -1,0 +1,85 @@
+package device
+
+import (
+	"testing"
+
+	"khsim/internal/gic"
+	"khsim/internal/machine"
+	"khsim/internal/sim"
+)
+
+func TestPeriodicRaisesAtRate(t *testing.T) {
+	node := machine.MustNew(machine.PineA64Config(1))
+	var delivered int
+	node.Cores[2].SetDispatcher(func(c *machine.Core) {
+		irq := node.GIC.Acknowledge(c.ID())
+		if irq == gic.SpuriousIRQ {
+			return
+		}
+		node.GIC.EOI(c.ID(), irq)
+		delivered++
+	})
+	d := NewPeriodic("nic", 48, 100)
+	if err := d.Start(node, 2); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(1)))
+	if d.Raised() < 95 || d.Raised() > 105 {
+		t.Fatalf("raised = %d, want ~100", d.Raised())
+	}
+	if delivered != int(d.Raised()) {
+		t.Fatalf("delivered %d != raised %d", delivered, d.Raised())
+	}
+	// Stop quiesces.
+	d.Stop()
+	before := d.Raised()
+	node.Engine.Run(sim.Time(sim.FromSeconds(2)))
+	if d.Raised() != before {
+		t.Fatal("device raised after Stop")
+	}
+}
+
+func TestPeriodicJitterVariesTimings(t *testing.T) {
+	node := machine.MustNew(machine.PineA64Config(2))
+	var times []sim.Time
+	node.Cores[0].SetDispatcher(func(c *machine.Core) {
+		irq := node.GIC.Acknowledge(c.ID())
+		if irq == gic.SpuriousIRQ {
+			return
+		}
+		node.GIC.EOI(c.ID(), irq)
+		times = append(times, node.Now())
+	})
+	d := NewPeriodic("nic", 50, 1000)
+	d.Jitter = 0.3
+	if err := d.Start(node, 0); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.1)))
+	if len(times) < 50 {
+		t.Fatalf("only %d interrupts", len(times))
+	}
+	distinct := map[sim.Duration]bool{}
+	for i := 1; i < len(times); i++ {
+		distinct[times[i].Sub(times[i-1])] = true
+	}
+	if len(distinct) < len(times)/2 {
+		t.Fatalf("gaps not jittered: %d distinct of %d", len(distinct), len(times)-1)
+	}
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	node := machine.MustNew(machine.PineA64Config(3))
+	d := NewPeriodic("bad", 48, 0)
+	if err := d.Start(node, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	d2 := NewPeriodic("bad2", 16, 10) // PPI, not SPI
+	if err := d2.Start(node, 0); err == nil {
+		t.Fatal("PPI device accepted")
+	}
+	d3 := NewPeriodic("bad3", 48, 10)
+	if err := d3.Start(node, 99); err == nil {
+		t.Fatal("bad core accepted")
+	}
+}

@@ -1,0 +1,329 @@
+// Package gic models an ARM GICv2-style interrupt controller: a shared
+// distributor plus one CPU interface per core. It supports the three ARM
+// interrupt classes (SGI 0–15, PPI 16–31, SPI 32+), per-IRQ enables and
+// priorities, per-core pending/active state, and the acknowledge/EOI
+// protocol.
+//
+// Hafnium gives the primary VM the physical GIC and exposes a para-virtual
+// interrupt controller to secondaries (internal/hafnium builds that view
+// on top of a second Distributor instance).
+package gic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IRQ class boundaries.
+const (
+	NumSGI      = 16 // software-generated, per core
+	FirstPPI    = 16 // private peripheral, per core
+	FirstSPI    = 32 // shared peripheral, global
+	SpuriousIRQ = 1023
+)
+
+// Well-known PPI numbers on ARMv8 systems (from the architecture's
+// recommended assignments, used by Linux and Hafnium alike).
+const (
+	IRQVirtualTimer = 27 // EL1 virtual timer
+	IRQHypTimer     = 26 // EL2 physical timer
+	IRQPhysTimer    = 30 // EL1 physical timer
+	IRQSecureTimer  = 29 // EL3/secure physical timer
+)
+
+// Class describes which kind of interrupt an IRQ ID is.
+type Class int
+
+// Interrupt classes.
+const (
+	SGI Class = iota
+	PPI
+	SPI
+)
+
+// ClassOf reports the class of an IRQ ID.
+func ClassOf(irq int) Class {
+	switch {
+	case irq < FirstPPI:
+		return SGI
+	case irq < FirstSPI:
+		return PPI
+	default:
+		return SPI
+	}
+}
+
+func (c Class) String() string {
+	switch c {
+	case SGI:
+		return "SGI"
+	case PPI:
+		return "PPI"
+	default:
+		return "SPI"
+	}
+}
+
+// Asserter receives the distributor's "IRQ line high" signal for a core.
+// The machine's Core implements it; delivery timing (interrupt masking,
+// priorities already filtered here) is the core's business.
+type Asserter interface {
+	AssertIRQ(core int)
+}
+
+type irqState struct {
+	enabled  bool
+	priority uint8 // lower value = higher priority, GIC convention
+	target   int   // SPI routing target core
+}
+
+// Distributor is the shared half of the GIC plus all per-core interfaces.
+type Distributor struct {
+	cores    int
+	spis     int
+	state    map[int]*irqState // SGIs/PPIs keyed as-is; banked state handled in percore
+	pending  []map[int]bool    // per core: pending IRQ set
+	active   []map[int]bool    // per core: acknowledged, awaiting EOI
+	maskPrio []uint8           // per core: priority mask (PMR); IRQs with priority >= mask are filtered
+	sink     Asserter
+	stats    Stats
+}
+
+// Stats counts distributor activity.
+type Stats struct {
+	Raised   uint64
+	Acked    uint64
+	EOIs     uint64
+	Spurious uint64
+	Dropped  uint64 // raised while disabled
+}
+
+// New builds a distributor for the given core count and SPI capacity.
+func New(cores, spis int) *Distributor {
+	if cores <= 0 {
+		panic("gic: no cores")
+	}
+	d := &Distributor{
+		cores:    cores,
+		spis:     spis,
+		state:    make(map[int]*irqState),
+		pending:  make([]map[int]bool, cores),
+		active:   make([]map[int]bool, cores),
+		maskPrio: make([]uint8, cores),
+	}
+	for i := 0; i < cores; i++ {
+		d.pending[i] = make(map[int]bool)
+		d.active[i] = make(map[int]bool)
+		d.maskPrio[i] = 0xFF // unmasked
+	}
+	return d
+}
+
+// SetSink installs the delivery callback (the machine's core array).
+func (d *Distributor) SetSink(s Asserter) { d.sink = s }
+
+// Cores reports the number of CPU interfaces.
+func (d *Distributor) Cores() int { return d.cores }
+
+// Stats returns a snapshot of the counters.
+func (d *Distributor) Stats() Stats { return d.stats }
+
+func (d *Distributor) validIRQ(irq int) error {
+	if irq < 0 || irq >= FirstSPI+d.spis {
+		return fmt.Errorf("gic: IRQ %d out of range", irq)
+	}
+	return nil
+}
+
+func (d *Distributor) validCore(core int) error {
+	if core < 0 || core >= d.cores {
+		return fmt.Errorf("gic: core %d out of range", core)
+	}
+	return nil
+}
+
+func (d *Distributor) irq(irq int) *irqState {
+	s, ok := d.state[irq]
+	if !ok {
+		s = &irqState{priority: 0xA0}
+		d.state[irq] = s
+	}
+	return s
+}
+
+// Enable makes an IRQ deliverable.
+func (d *Distributor) Enable(irq int) error {
+	if err := d.validIRQ(irq); err != nil {
+		return err
+	}
+	d.irq(irq).enabled = true
+	return nil
+}
+
+// Disable stops delivery of an IRQ; pending state is retained.
+func (d *Distributor) Disable(irq int) error {
+	if err := d.validIRQ(irq); err != nil {
+		return err
+	}
+	d.irq(irq).enabled = false
+	return nil
+}
+
+// Enabled reports whether the IRQ is enabled.
+func (d *Distributor) Enabled(irq int) bool {
+	s, ok := d.state[irq]
+	return ok && s.enabled
+}
+
+// SetPriority assigns the IRQ's priority (lower = more urgent).
+func (d *Distributor) SetPriority(irq int, prio uint8) error {
+	if err := d.validIRQ(irq); err != nil {
+		return err
+	}
+	d.irq(irq).priority = prio
+	return nil
+}
+
+// Route sets the target core for an SPI.
+func (d *Distributor) Route(irq, core int) error {
+	if err := d.validIRQ(irq); err != nil {
+		return err
+	}
+	if ClassOf(irq) != SPI {
+		return fmt.Errorf("gic: IRQ %d is not an SPI", irq)
+	}
+	if err := d.validCore(core); err != nil {
+		return err
+	}
+	d.irq(irq).target = core
+	return nil
+}
+
+// RaiseSPI marks a shared interrupt pending and asserts its routed core.
+func (d *Distributor) RaiseSPI(irq int) error {
+	if err := d.validIRQ(irq); err != nil {
+		return err
+	}
+	if ClassOf(irq) != SPI {
+		return fmt.Errorf("gic: RaiseSPI on %s %d", ClassOf(irq), irq)
+	}
+	return d.raiseOn(irq, d.irq(irq).target)
+}
+
+// RaisePPI marks a private interrupt pending on one core.
+func (d *Distributor) RaisePPI(core, irq int) error {
+	if err := d.validIRQ(irq); err != nil {
+		return err
+	}
+	if ClassOf(irq) != PPI {
+		return fmt.Errorf("gic: RaisePPI on %s %d", ClassOf(irq), irq)
+	}
+	if err := d.validCore(core); err != nil {
+		return err
+	}
+	return d.raiseOn(irq, core)
+}
+
+// SendSGI delivers a software-generated interrupt from one core to another
+// (inter-processor interrupt). Hafnium's Kitten port uses these for
+// cross-core VM management kicks.
+func (d *Distributor) SendSGI(toCore, irq int) error {
+	if irq < 0 || irq >= NumSGI {
+		return fmt.Errorf("gic: SGI %d out of range", irq)
+	}
+	if err := d.validCore(toCore); err != nil {
+		return err
+	}
+	return d.raiseOn(irq, toCore)
+}
+
+func (d *Distributor) raiseOn(irq, core int) error {
+	s := d.irq(irq)
+	if !s.enabled {
+		d.stats.Dropped++
+		return nil
+	}
+	d.stats.Raised++
+	if d.pending[core][irq] || d.active[core][irq] {
+		return nil // level already high / still in service
+	}
+	d.pending[core][irq] = true
+	if s.priority < d.maskPrio[core] && d.sink != nil {
+		d.sink.AssertIRQ(core)
+	}
+	return nil
+}
+
+// SetPriorityMask sets the core's PMR; IRQs with priority >= mask are held.
+func (d *Distributor) SetPriorityMask(core int, mask uint8) error {
+	if err := d.validCore(core); err != nil {
+		return err
+	}
+	d.maskPrio[core] = mask
+	// Newly unmasked pending IRQs re-assert the line.
+	if d.HasPending(core) && d.sink != nil {
+		d.sink.AssertIRQ(core)
+	}
+	return nil
+}
+
+// HasPending reports whether the core has any deliverable pending IRQ.
+func (d *Distributor) HasPending(core int) bool {
+	for irq := range d.pending[core] {
+		s := d.irq(irq)
+		if s.enabled && s.priority < d.maskPrio[core] {
+			return true
+		}
+	}
+	return false
+}
+
+// Acknowledge returns the highest-priority deliverable pending IRQ for the
+// core, moving it pending→active. With nothing pending it returns the
+// spurious IRQ 1023, as real hardware does.
+func (d *Distributor) Acknowledge(core int) int {
+	best := SpuriousIRQ
+	var bestPrio uint8 = 0xFF
+	var ids []int
+	for irq := range d.pending[core] {
+		ids = append(ids, irq)
+	}
+	sort.Ints(ids) // deterministic tie-break: lowest IRQ ID wins
+	for _, irq := range ids {
+		s := d.irq(irq)
+		if !s.enabled || s.priority >= d.maskPrio[core] {
+			continue
+		}
+		if best == SpuriousIRQ || s.priority < bestPrio {
+			best = irq
+			bestPrio = s.priority
+		}
+	}
+	if best == SpuriousIRQ {
+		d.stats.Spurious++
+		return SpuriousIRQ
+	}
+	delete(d.pending[core], best)
+	d.active[core][best] = true
+	d.stats.Acked++
+	return best
+}
+
+// EOI signals end-of-interrupt, clearing the active state.
+func (d *Distributor) EOI(core, irq int) error {
+	if err := d.validCore(core); err != nil {
+		return err
+	}
+	if !d.active[core][irq] {
+		return fmt.Errorf("gic: EOI for inactive IRQ %d on core %d", irq, core)
+	}
+	delete(d.active[core], irq)
+	// A still-pending instance (level interrupt) re-asserts.
+	if d.HasPending(core) && d.sink != nil {
+		d.sink.AssertIRQ(core)
+	}
+	return nil
+}
+
+// PendingCount reports the number of pending IRQs on a core (any state).
+func (d *Distributor) PendingCount(core int) int { return len(d.pending[core]) }

@@ -1,0 +1,242 @@
+package gic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type recorder struct{ asserted []int }
+
+func (r *recorder) AssertIRQ(core int) { r.asserted = append(r.asserted, core) }
+
+func newGIC() (*Distributor, *recorder) {
+	d := New(4, 256)
+	r := &recorder{}
+	d.SetSink(r)
+	return d, r
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		irq  int
+		want Class
+	}{{0, SGI}, {15, SGI}, {16, PPI}, {30, PPI}, {32, SPI}, {100, SPI}}
+	for _, c := range cases {
+		if got := ClassOf(c.irq); got != c.want {
+			t.Errorf("ClassOf(%d) = %v, want %v", c.irq, got, c.want)
+		}
+	}
+	for _, c := range []Class{SGI, PPI, SPI} {
+		if c.String() == "" {
+			t.Fatal("empty class string")
+		}
+	}
+}
+
+func TestRaiseDisabledIsDropped(t *testing.T) {
+	d, r := newGIC()
+	if err := d.RaiseSPI(40); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.asserted) != 0 {
+		t.Fatal("disabled IRQ asserted the core")
+	}
+	if d.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d", d.Stats().Dropped)
+	}
+	if d.Acknowledge(0) != SpuriousIRQ {
+		t.Fatal("ack of nothing should be spurious")
+	}
+}
+
+func TestSPIRouteRaiseAckEOI(t *testing.T) {
+	d, r := newGIC()
+	d.Enable(40)
+	if err := d.Route(40, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RaiseSPI(40); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.asserted) != 1 || r.asserted[0] != 2 {
+		t.Fatalf("asserted = %v", r.asserted)
+	}
+	if got := d.Acknowledge(2); got != 40 {
+		t.Fatalf("ack = %d", got)
+	}
+	// While active, re-raising does not duplicate.
+	d.RaiseSPI(40)
+	if d.PendingCount(2) != 0 {
+		t.Fatal("active IRQ re-pended")
+	}
+	if err := d.EOI(2, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EOI(2, 40); err == nil {
+		t.Fatal("double EOI accepted")
+	}
+}
+
+func TestPPIIsPerCore(t *testing.T) {
+	d, _ := newGIC()
+	d.Enable(IRQPhysTimer)
+	d.RaisePPI(1, IRQPhysTimer)
+	if d.Acknowledge(0) != SpuriousIRQ {
+		t.Fatal("PPI leaked to wrong core")
+	}
+	if d.Acknowledge(1) != IRQPhysTimer {
+		t.Fatal("PPI not delivered to its core")
+	}
+}
+
+func TestSGI(t *testing.T) {
+	d, r := newGIC()
+	d.Enable(3)
+	if err := d.SendSGI(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SendSGI(1, 16); err == nil {
+		t.Fatal("SGI id 16 accepted")
+	}
+	if len(r.asserted) != 1 || r.asserted[0] != 1 {
+		t.Fatalf("asserted = %v", r.asserted)
+	}
+	if d.Acknowledge(1) != 3 {
+		t.Fatal("SGI not acknowledged")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	d, _ := newGIC()
+	for _, irq := range []int{40, 41, 42} {
+		d.Enable(irq)
+		d.Route(irq, 0)
+	}
+	d.SetPriority(40, 0xB0)
+	d.SetPriority(41, 0x20) // most urgent
+	d.SetPriority(42, 0x80)
+	d.RaiseSPI(40)
+	d.RaiseSPI(41)
+	d.RaiseSPI(42)
+	want := []int{41, 42, 40}
+	for _, w := range want {
+		if got := d.Acknowledge(0); got != w {
+			t.Fatalf("ack order got %d, want %d", got, w)
+		}
+		d.EOI(0, w)
+	}
+}
+
+func TestPriorityMask(t *testing.T) {
+	d, r := newGIC()
+	d.Enable(40)
+	d.Route(40, 0)
+	d.SetPriority(40, 0xA0)
+	d.SetPriorityMask(0, 0x50) // masks priority >= 0x50
+	d.RaiseSPI(40)
+	if len(r.asserted) != 0 {
+		t.Fatal("masked IRQ asserted core")
+	}
+	if d.Acknowledge(0) != SpuriousIRQ {
+		t.Fatal("masked IRQ acknowledged")
+	}
+	if d.HasPending(0) {
+		t.Fatal("masked IRQ counted as deliverable")
+	}
+	// Unmasking re-asserts.
+	d.SetPriorityMask(0, 0xFF)
+	if len(r.asserted) == 0 {
+		t.Fatal("unmask did not re-assert")
+	}
+	if d.Acknowledge(0) != 40 {
+		t.Fatal("unmasked IRQ not delivered")
+	}
+}
+
+func TestEOIReassertsRemainingPending(t *testing.T) {
+	d, r := newGIC()
+	for _, irq := range []int{40, 41} {
+		d.Enable(irq)
+		d.Route(irq, 0)
+	}
+	d.RaiseSPI(40)
+	d.RaiseSPI(41)
+	got := d.Acknowledge(0)
+	r.asserted = nil
+	if err := d.EOI(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.asserted) == 0 {
+		t.Fatal("EOI with pending IRQ did not re-assert")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d, _ := newGIC()
+	if err := d.Enable(-1); err == nil {
+		t.Fatal("negative IRQ accepted")
+	}
+	if err := d.Enable(FirstSPI + 256); err == nil {
+		t.Fatal("out-of-range IRQ accepted")
+	}
+	if err := d.Route(16, 0); err == nil {
+		t.Fatal("routing a PPI accepted")
+	}
+	if err := d.Route(40, 9); err == nil {
+		t.Fatal("routing to bad core accepted")
+	}
+	if err := d.RaisePPI(0, 40); err == nil {
+		t.Fatal("RaisePPI on SPI accepted")
+	}
+	if err := d.RaiseSPI(16); err == nil {
+		t.Fatal("RaiseSPI on PPI accepted")
+	}
+	if err := d.RaisePPI(7, 30); err == nil {
+		t.Fatal("bad core accepted")
+	}
+}
+
+// Property: every raised-and-enabled IRQ is acknowledged exactly once, and
+// acknowledge order respects priority.
+func TestQuickAckCompleteAndPriorityOrdered(t *testing.T) {
+	f := func(irqs []uint8, prios []uint8) bool {
+		d := New(1, 256)
+		raised := map[int]uint8{}
+		for i, v := range irqs {
+			irq := FirstSPI + int(v)%64
+			prio := uint8(0x10)
+			if i < len(prios) {
+				prio = prios[i] % 0xF0 // keep below the default mask 0xFF
+			}
+			if _, dup := raised[irq]; dup {
+				continue
+			}
+			d.Enable(irq)
+			d.SetPriority(irq, prio)
+			d.Route(irq, 0)
+			d.RaiseSPI(irq)
+			raised[irq] = prio
+		}
+		var lastPrio int = -1
+		for n := len(raised); n > 0; n-- {
+			irq := d.Acknowledge(0)
+			if irq == SpuriousIRQ {
+				return false
+			}
+			prio, ok := raised[irq]
+			if !ok {
+				return false // acked something never raised
+			}
+			if int(prio) < lastPrio {
+				return false // priority inversion
+			}
+			lastPrio = int(prio)
+			delete(raised, irq)
+			d.EOI(0, irq)
+		}
+		return d.Acknowledge(0) == SpuriousIRQ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+package hafnium
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// VMSpec describes one VM in the boot-time manifest.
+type VMSpec struct {
+	Name   string
+	Class  Class
+	VCPUs  int
+	MemMB  int
+	Secure bool // place the VM's memory in the TrustZone secure world
+	// WorkingSetPages sizes the TLB-refill transient charged when the VM
+	// is switched in after a flush; workload harnesses set it to the
+	// benchmark's hot page count.
+	WorkingSetPages int
+}
+
+// Manifest is the static partition configuration Hafnium consumes during
+// boot — the paper notes partitions "must be statically sized and
+// configured during the early boot process".
+type Manifest struct {
+	VMs     []VMSpec
+	Routing IRQRouting
+	TLB     TLBPolicy
+}
+
+// Validate checks structural rules: exactly one primary, at most one
+// super-secondary, sane sizes.
+func (m *Manifest) Validate() error {
+	primaries, supers := 0, 0
+	names := map[string]bool{}
+	for i, v := range m.VMs {
+		if v.Name == "" {
+			return fmt.Errorf("hafnium: VM %d has no name", i)
+		}
+		if names[v.Name] {
+			return fmt.Errorf("hafnium: duplicate VM name %q", v.Name)
+		}
+		names[v.Name] = true
+		if v.VCPUs <= 0 {
+			return fmt.Errorf("hafnium: VM %q has %d vcpus", v.Name, v.VCPUs)
+		}
+		if v.MemMB <= 0 {
+			return fmt.Errorf("hafnium: VM %q has %d MiB memory", v.Name, v.MemMB)
+		}
+		switch v.Class {
+		case Primary:
+			primaries++
+			if v.Secure {
+				return fmt.Errorf("hafnium: primary VM %q cannot be secure-world", v.Name)
+			}
+		case SuperSecondary:
+			supers++
+		}
+	}
+	if primaries != 1 {
+		return fmt.Errorf("hafnium: manifest needs exactly one primary VM, has %d", primaries)
+	}
+	if supers > 1 {
+		return fmt.Errorf("hafnium: manifest allows at most one super-secondary, has %d", supers)
+	}
+	return nil
+}
+
+// ParseManifest reads the small text format used by cmd/khsim, modelled
+// on Hafnium's device-tree manifest:
+//
+//	routing = via-primary        # or: selective
+//	tlb = vmid-tagged            # or: flush-all
+//
+//	[vm kitten]
+//	class = primary              # primary | super-secondary | secondary
+//	vcpus = 4
+//	memory_mb = 256
+//
+//	[vm job0]
+//	class = secondary
+//	vcpus = 1
+//	memory_mb = 512
+//	secure = true
+//
+// Comments start with '#'; blank lines are ignored.
+func ParseManifest(text string) (*Manifest, error) {
+	m := &Manifest{}
+	var cur *VMSpec
+	flush := func() {
+		if cur != nil {
+			m.VMs = append(m.VMs, *cur)
+			cur = nil
+		}
+	}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("hafnium: manifest line %d: unterminated section", ln+1)
+			}
+			parts := strings.Fields(strings.Trim(line, "[]"))
+			if len(parts) != 2 || parts[0] != "vm" {
+				return nil, fmt.Errorf("hafnium: manifest line %d: expected [vm <name>]", ln+1)
+			}
+			flush()
+			cur = &VMSpec{Name: parts[1], VCPUs: 1, MemMB: 64}
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("hafnium: manifest line %d: expected key = value", ln+1)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if cur == nil {
+			switch key {
+			case "routing":
+				switch val {
+				case "via-primary":
+					m.Routing = RouteViaPrimary
+				case "selective":
+					m.Routing = RouteSelective
+				default:
+					return nil, fmt.Errorf("hafnium: manifest line %d: unknown routing %q", ln+1, val)
+				}
+			case "tlb":
+				switch val {
+				case "vmid-tagged":
+					m.TLB = TLBVMIDTagged
+				case "flush-all":
+					m.TLB = TLBFlushAll
+				default:
+					return nil, fmt.Errorf("hafnium: manifest line %d: unknown tlb policy %q", ln+1, val)
+				}
+			default:
+				return nil, fmt.Errorf("hafnium: manifest line %d: unknown global key %q", ln+1, key)
+			}
+			continue
+		}
+		switch key {
+		case "class":
+			switch val {
+			case "primary":
+				cur.Class = Primary
+			case "super-secondary":
+				cur.Class = SuperSecondary
+			case "secondary":
+				cur.Class = Secondary
+			default:
+				return nil, fmt.Errorf("hafnium: manifest line %d: unknown class %q", ln+1, val)
+			}
+		case "vcpus":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("hafnium: manifest line %d: vcpus: %v", ln+1, err)
+			}
+			cur.VCPUs = n
+		case "memory_mb":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("hafnium: manifest line %d: memory_mb: %v", ln+1, err)
+			}
+			cur.MemMB = n
+		case "working_set_pages":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("hafnium: manifest line %d: working_set_pages: %v", ln+1, err)
+			}
+			cur.WorkingSetPages = n
+		case "secure":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("hafnium: manifest line %d: secure: %v", ln+1, err)
+			}
+			cur.Secure = b
+		default:
+			return nil, fmt.Errorf("hafnium: manifest line %d: unknown VM key %q", ln+1, key)
+		}
+	}
+	flush()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Format renders the manifest back to the text format, with VMs in
+// declaration order and the primary first.
+func (m *Manifest) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "routing = %s\ntlb = %s\n", m.Routing, m.TLB)
+	vms := make([]VMSpec, len(m.VMs))
+	copy(vms, m.VMs)
+	sort.SliceStable(vms, func(i, j int) bool { return vms[i].Class < vms[j].Class })
+	for _, v := range vms {
+		fmt.Fprintf(&sb, "\n[vm %s]\nclass = %s\nvcpus = %d\nmemory_mb = %d\n", v.Name, v.Class, v.VCPUs, v.MemMB)
+		if v.Secure {
+			sb.WriteString("secure = true\n")
+		}
+		if v.WorkingSetPages != 0 {
+			fmt.Fprintf(&sb, "working_set_pages = %d\n", v.WorkingSetPages)
+		}
+	}
+	return sb.String()
+}

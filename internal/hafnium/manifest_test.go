@@ -1,0 +1,139 @@
+package hafnium
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleManifest = `
+# node partition plan
+routing = via-primary
+tlb = vmid-tagged
+
+[vm kitten]
+class = primary
+vcpus = 4
+memory_mb = 256
+
+[vm login]
+class = super-secondary
+vcpus = 1
+memory_mb = 256
+
+[vm job0]
+class = secondary
+vcpus = 1
+memory_mb = 512
+secure = true
+working_set_pages = 128
+`
+
+func TestParseManifest(t *testing.T) {
+	m, err := ParseManifest(sampleManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.VMs) != 3 {
+		t.Fatalf("VMs = %d", len(m.VMs))
+	}
+	if m.Routing != RouteViaPrimary || m.TLB != TLBVMIDTagged {
+		t.Fatal("globals wrong")
+	}
+	k := m.VMs[0]
+	if k.Name != "kitten" || k.Class != Primary || k.VCPUs != 4 || k.MemMB != 256 {
+		t.Fatalf("kitten spec = %+v", k)
+	}
+	j := m.VMs[2]
+	if !j.Secure || j.WorkingSetPages != 128 || j.Class != Secondary {
+		t.Fatalf("job0 spec = %+v", j)
+	}
+}
+
+func TestParseManifestSelective(t *testing.T) {
+	m, err := ParseManifest("routing = selective\ntlb = flush-all\n[vm p]\nclass = primary\nvcpus=1\nmemory_mb=64\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Routing != RouteSelective || m.TLB != TLBFlushAll {
+		t.Fatal("globals wrong")
+	}
+}
+
+func TestParseManifestErrors(t *testing.T) {
+	cases := []string{
+		"bogus line without equals\n",
+		"routing = sideways\n",
+		"tlb = off\n",
+		"unknownkey = 1\n",
+		"[vm]\nclass = primary\n",
+		"[vm a\nclass = primary\n",
+		"[vm a]\nclass = emperor\n",
+		"[vm a]\nvcpus = many\n",
+		"[vm a]\nmemory_mb = lots\n",
+		"[vm a]\nsecure = perhaps\n",
+		"[vm a]\nworking_set_pages = big\n",
+		"[vm a]\nwhatkey = 1\n",
+		// structural: no primary
+		"[vm a]\nclass = secondary\n",
+		// two primaries
+		"[vm a]\nclass = primary\n[vm b]\nclass = primary\n",
+		// two super-secondaries
+		"[vm p]\nclass = primary\n[vm a]\nclass = super-secondary\n[vm b]\nclass = super-secondary\n",
+		// duplicate names
+		"[vm p]\nclass = primary\n[vm p]\nclass = secondary\n",
+		// secure primary
+		"[vm p]\nclass = primary\nsecure = true\n",
+		// zero vcpus
+		"[vm p]\nclass = primary\nvcpus = 0\n",
+		// zero memory
+		"[vm p]\nclass = primary\nmemory_mb = 0\n",
+	}
+	for i, c := range cases {
+		if _, err := ParseManifest(c); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, c)
+		}
+	}
+}
+
+func TestManifestFormatRoundTrip(t *testing.T) {
+	m, err := ParseManifest(sampleManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := m.Format()
+	m2, err := ParseManifest(text)
+	if err != nil {
+		t.Fatalf("formatted manifest does not reparse: %v\n%s", err, text)
+	}
+	if len(m2.VMs) != len(m.VMs) || m2.Routing != m.Routing || m2.TLB != m.TLB {
+		t.Fatal("round trip lost data")
+	}
+	if !strings.Contains(text, "secure = true") {
+		t.Fatal("secure flag lost in format")
+	}
+}
+
+// TestShippedManifestsParse keeps the manifests/ directory in sync with
+// the parser.
+func TestShippedManifestsParse(t *testing.T) {
+	files, err := filepath.Glob("../../manifests/*.manifest")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shipped manifests found: %v", err)
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := ParseManifest(string(b))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if len(m.VMs) < 2 {
+			t.Errorf("%s: only %d VMs", f, len(m.VMs))
+		}
+	}
+}

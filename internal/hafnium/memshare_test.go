@@ -1,0 +1,335 @@
+package hafnium
+
+import (
+	"testing"
+	"testing/quick"
+
+	"khsim/internal/machine"
+	"khsim/internal/mem"
+	"khsim/internal/mmu"
+	"khsim/internal/sim"
+	"khsim/internal/tz"
+)
+
+const shareManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 64
+
+[vm a]
+class = secondary
+vcpus = 1
+memory_mb = 64
+
+[vm b]
+class = secondary
+vcpus = 1
+memory_mb = 64
+`
+
+func shareSystem(t *testing.T) (*Hypervisor, *VM, *VM) {
+	t.Helper()
+	ga := &stubGuest{workChunk: sim.FromMicros(1), chunks: 1}
+	gb := &stubGuest{workChunk: sim.FromMicros(1), chunks: 1}
+	h, _ := buildTestSystem(t, shareManifest, map[string]GuestOS{"a": ga, "b": gb})
+	a, _ := h.VMByName("a")
+	b, _ := h.VMByName("b")
+	return h, a, b
+}
+
+func TestShareGrantsReceiverAccess(t *testing.T) {
+	h, a, b := shareSystem(t)
+	base, _ := a.RAM()
+	toIPA, id, err := h.ShareMemory(MemShare, a.ID(), b.ID(), base, 4*mem.PageSize, mmu.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sides now translate to the same frames.
+	paA, err := a.TranslateIPA(base, mmu.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paB, err := b.TranslateIPA(toIPA, mmu.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paA != paB {
+		t.Fatalf("share not aliased: %#x vs %#x", uint64(paA), uint64(paB))
+	}
+	if err := h.VerifyIsolation(); err != nil {
+		t.Fatal(err)
+	}
+	// Receiver cannot execute if only RW granted.
+	if _, err := b.TranslateIPA(toIPA, mmu.PermX); err == nil {
+		t.Fatal("execute through RW grant allowed")
+	}
+	if len(h.Grants(a.ID())) != 1 || len(h.Grants(b.ID())) != 1 {
+		t.Fatal("grants not visible")
+	}
+	// Reclaim removes receiver access.
+	if err := h.ReclaimMemory(a.ID(), id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.TranslateIPA(toIPA, mmu.PermR); err == nil {
+		t.Fatal("receiver kept access after reclaim")
+	}
+	if err := h.VerifyIsolation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLendRevokesOwnerAccess(t *testing.T) {
+	h, a, b := shareSystem(t)
+	base, _ := a.RAM()
+	toIPA, id, err := h.ShareMemory(MemLend, a.ID(), b.ID(), base+mem.PageSize, 2*mem.PageSize, mmu.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.TranslateIPA(base+mem.PageSize, mmu.PermR); err == nil {
+		t.Fatal("lender kept access to lent pages")
+	}
+	if _, err := b.TranslateIPA(toIPA, mmu.PermW); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VerifyIsolation(); err != nil {
+		t.Fatal(err)
+	}
+	// Reclaim restores the owner.
+	if err := h.ReclaimMemory(a.ID(), id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.TranslateIPA(base+mem.PageSize, mmu.PermRW); err != nil {
+		t.Fatal("owner access not restored after reclaim")
+	}
+	if err := h.VerifyIsolation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDonateTransfersOwnership(t *testing.T) {
+	h, a, b := shareSystem(t)
+	base, _ := a.RAM()
+	paBefore, _ := a.TranslateIPA(base, mmu.PermR)
+	toIPA, _, err := h.ShareMemory(MemDonate, a.ID(), b.ID(), base, mem.PageSize, mmu.PermRWX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FrameOwner(paBefore) != b.ID() {
+		t.Fatal("ownership not transferred")
+	}
+	if _, err := a.TranslateIPA(base, mmu.PermR); err == nil {
+		t.Fatal("donor kept access")
+	}
+	if pa, err := b.TranslateIPA(toIPA, mmu.PermRWX); err != nil || pa != paBefore {
+		t.Fatalf("receiver access: %v %#x", err, uint64(pa))
+	}
+	if err := h.VerifyIsolation(); err != nil {
+		t.Fatal(err)
+	}
+	// Donation is permanent: no reclaim.
+	for id := range h.shares {
+		if err := h.ReclaimMemory(a.ID(), id); err == nil {
+			t.Fatal("reclaim of donation accepted")
+		}
+	}
+	// New owner can re-grant it.
+	if _, _, err := h.ShareMemory(MemShare, b.ID(), a.ID(), toIPA, mem.PageSize, mmu.PermR); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VerifyIsolation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShareValidation(t *testing.T) {
+	h, a, b := shareSystem(t)
+	base, size := a.RAM()
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"self", func() error {
+			_, _, err := h.ShareMemory(MemShare, a.ID(), a.ID(), base, mem.PageSize, mmu.PermR)
+			return err
+		}},
+		{"bad sender", func() error {
+			_, _, err := h.ShareMemory(MemShare, VMID(99), b.ID(), base, mem.PageSize, mmu.PermR)
+			return err
+		}},
+		{"bad receiver", func() error {
+			_, _, err := h.ShareMemory(MemShare, a.ID(), VMID(99), base, mem.PageSize, mmu.PermR)
+			return err
+		}},
+		{"unaligned", func() error {
+			_, _, err := h.ShareMemory(MemShare, a.ID(), b.ID(), base+1, mem.PageSize, mmu.PermR)
+			return err
+		}},
+		{"zero size", func() error {
+			_, _, err := h.ShareMemory(MemShare, a.ID(), b.ID(), base, 0, mmu.PermR)
+			return err
+		}},
+		{"no perms", func() error {
+			_, _, err := h.ShareMemory(MemShare, a.ID(), b.ID(), base, mem.PageSize, 0)
+			return err
+		}},
+		{"unmapped", func() error {
+			_, _, err := h.ShareMemory(MemShare, a.ID(), b.ID(), base+size, mem.PageSize, mmu.PermR)
+			return err
+		}},
+		{"not owner", func() error {
+			// a tries to share b's memory region (a has no mapping for it,
+			// so this also exercises the stage-2 walk failure).
+			_, _, err := h.ShareMemory(MemShare, a.ID(), b.ID(), base+size+mem.PageSize, mem.PageSize, mmu.PermR)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if err := c.fn(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	// Double grant of the same frames.
+	if _, _, err := h.ShareMemory(MemShare, a.ID(), b.ID(), base, mem.PageSize, mmu.PermR); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.ShareMemory(MemShare, a.ID(), b.ID(), base, mem.PageSize, mmu.PermR); err == nil {
+		t.Error("double grant accepted")
+	}
+	// Reclaim authorization.
+	var grantID uint64
+	for id := range h.shares {
+		grantID = id
+	}
+	if err := h.ReclaimMemory(b.ID(), grantID); err == nil {
+		t.Error("receiver reclaimed a grant")
+	}
+	if err := h.ReclaimMemory(a.ID(), 9999); err == nil {
+		t.Error("phantom reclaim accepted")
+	}
+}
+
+func TestSecureWorldShareRules(t *testing.T) {
+	manifest := `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 64
+
+[vm svm]
+class = secondary
+vcpus = 1
+memory_mb = 64
+secure = true
+
+[vm nvm]
+class = secondary
+vcpus = 1
+memory_mb = 64
+`
+	m, err := ParseManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := machine.MustNew(machine.PineA64Config(7))
+	monitor := tz.NewMonitor(node.Mem, len(node.Cores), false)
+	h, err := New(node, m, monitor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &stubPrimary{t: t, h: h, node: node, handlerCost: sim.FromMicros(5), evict: 8}
+	h.AttachPrimary(p)
+	svm, _ := h.VMByName("svm")
+	nvm, _ := h.VMByName("nvm")
+	h.AttachGuest(svm.ID(), &stubGuest{workChunk: 1, chunks: 1})
+	h.AttachGuest(nvm.ID(), &stubGuest{workChunk: 1, chunks: 1})
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	// The monitor froze with the secure carve-out in place.
+	if !monitor.Frozen() || len(monitor.SecureRegions()) != 1 {
+		t.Fatal("secure partition not configured at boot")
+	}
+	// The secure VM's frames live in the secure world.
+	base, _ := svm.RAM()
+	pa, err := svm.TranslateIPA(base, mmu.PermR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if monitor.WorldOf(pa) != tz.Secure {
+		t.Fatal("secure VM backed by non-secure frames")
+	}
+	if monitor.CanAccess(tz.NonSecure, pa, mem.PageSize) {
+		t.Fatal("non-secure world can touch secure VM memory")
+	}
+	// Secure → non-secure sharing is forbidden.
+	if _, _, err := h.ShareMemory(MemShare, svm.ID(), nvm.ID(), base, mem.PageSize, mmu.PermR); err == nil {
+		t.Fatal("secure→non-secure share accepted")
+	}
+	// Non-secure → secure sharing is allowed.
+	nbase, _ := nvm.RAM()
+	if _, _, err := h.ShareMemory(MemShare, nvm.ID(), svm.ID(), nbase, mem.PageSize, mmu.PermR); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VerifyIsolation(); err != nil {
+		t.Fatal(err)
+	}
+	// Requesting a secure VM without a monitor fails at build time.
+	if _, err := New(machine.MustNew(machine.PineA64Config(8)), m, nil); err == nil {
+		t.Fatal("secure VM without monitor accepted")
+	}
+}
+
+// Property: arbitrary interleavings of share/lend/donate/reclaim between
+// two VMs never break the isolation invariant, and every operation's
+// success/failure leaves the system self-consistent.
+func TestQuickShareIsolationInvariant(t *testing.T) {
+	type op struct {
+		Kind    uint8
+		FromA   bool
+		PageOff uint8
+		Pages   uint8
+		Reclaim bool
+	}
+	f := func(ops []op) bool {
+		ga := &stubGuest{workChunk: 1, chunks: 1}
+		gb := &stubGuest{workChunk: 1, chunks: 1}
+		h, _ := buildTestSystem(t, shareManifest, map[string]GuestOS{"a": ga, "b": gb})
+		a, _ := h.VMByName("a")
+		b, _ := h.VMByName("b")
+		base, _ := a.RAM()
+		var grants []struct {
+			id uint64
+			by VMID
+		}
+		for _, o := range ops {
+			if o.Reclaim && len(grants) > 0 {
+				g := grants[0]
+				grants = grants[1:]
+				h.ReclaimMemory(g.by, g.id)
+			} else {
+				from, to := a, b
+				if !o.FromA {
+					from, to = b, a
+				}
+				kind := ShareKind(o.Kind % 3)
+				ipa := base + uint64(o.PageOff%64)*mem.PageSize
+				size := (uint64(o.Pages%4) + 1) * mem.PageSize
+				if _, id, err := h.ShareMemory(kind, from.ID(), to.ID(), ipa, size, mmu.PermRW); err == nil && kind != MemDonate {
+					grants = append(grants, struct {
+						id uint64
+						by VMID
+					}{id, from.ID()})
+				}
+			}
+			if err := h.VerifyIsolation(); err != nil {
+				t.Logf("isolation violated: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package hafnium
+
+import (
+	"testing"
+
+	"khsim/internal/machine"
+	"khsim/internal/sim"
+)
+
+// stubPrimary is a controllable PrimaryOS for tests: it records every
+// callback and can be told to re-run preempted guests or pull from a run
+// queue when idle.
+type stubPrimary struct {
+	t    *testing.T
+	h    *Hypervisor
+	node *machine.Node
+
+	handlerCost sim.Duration
+	evict       int
+	rerun       bool // re-run the preempted VCPU after handling its IRQ
+	runOnReady  bool // hand ready VCPUs to idle cores via the queue
+
+	irqs    []int
+	exits   []ExitReason
+	exited  []*VCPU
+	readies []*VCPU
+	queue   []*VCPU
+}
+
+func (p *stubPrimary) Boot() {}
+
+func (p *stubPrimary) HandleIRQ(c *machine.Core, irq int) {
+	p.irqs = append(p.irqs, irq)
+	vc := p.h.Preempted(c)
+	c.Exec("stub.handler", p.handlerCost, func() {
+		if p.rerun && vc != nil && vc.State() == VCPURunnable {
+			if err := p.h.RunVCPU(c, vc); err != nil {
+				p.t.Errorf("rerun: %v", err)
+			}
+		}
+	})
+}
+
+func (p *stubPrimary) VCPUExited(c *machine.Core, vc *VCPU, reason ExitReason) {
+	p.exits = append(p.exits, reason)
+	p.exited = append(p.exited, vc)
+}
+
+func (p *stubPrimary) VCPUReady(vc *VCPU) {
+	p.readies = append(p.readies, vc)
+	if p.runOnReady {
+		p.queue = append(p.queue, vc)
+	}
+}
+
+func (p *stubPrimary) CoreIdle(c *machine.Core) {
+	if len(p.queue) == 0 {
+		return
+	}
+	vc := p.queue[0]
+	p.queue = p.queue[1:]
+	if err := p.h.RunVCPU(c, vc); err != nil {
+		p.t.Errorf("idle run: %v", err)
+	}
+}
+
+func (p *stubPrimary) EvictionPages() int { return p.evict }
+
+// stubGuest runs a fixed number of work chunks, then exits with the
+// configured reason. Virtual IRQs are recorded and cost handlerCost.
+type stubGuest struct {
+	workChunk   sim.Duration
+	chunks      int
+	handlerCost sim.Duration
+	exit        ExitReason   // ExitYield or ExitBlocked after the chunks
+	armTimer    sim.Duration // if nonzero, periodic vtimer
+
+	booted    int
+	completed int
+	virqs     []int
+	preempts  int
+	resumes   int
+	stolenTot sim.Duration
+}
+
+func (g *stubGuest) Boot(vc *VCPU) {
+	g.booted++
+	if g.armTimer > 0 {
+		vc.ArmVTimerAfter(g.armTimer)
+	}
+	g.runChunks(vc, g.chunks)
+}
+
+func (g *stubGuest) runChunks(vc *VCPU, left int) {
+	if left == 0 {
+		switch g.exit {
+		case ExitYield:
+			vc.Yield()
+		default:
+			vc.Block()
+		}
+		return
+	}
+	a := &machine.Activity{
+		Label:     "guest.work",
+		Remaining: g.workChunk,
+		OnComplete: func() {
+			g.completed++
+			g.runChunks(vc, left-1)
+		},
+		OnPreempt: func(at sim.Time) { g.preempts++ },
+		OnResume:  func(at sim.Time, stolen sim.Duration) { g.resumes++; g.stolenTot += stolen },
+	}
+	vc.Run(a)
+}
+
+func (g *stubGuest) HandleVIRQ(vc *VCPU, virq int) {
+	g.virqs = append(g.virqs, virq)
+	if g.armTimer > 0 && virq == 27 {
+		vc.ArmVTimerAfter(g.armTimer)
+	}
+	vc.Exec("guest.virq", g.handlerCost, nil)
+}
+
+// buildTestSystem boots a node with the given manifest text plus stubs.
+func buildTestSystem(t *testing.T, manifest string, guests map[string]GuestOS) (*Hypervisor, *stubPrimary) {
+	t.Helper()
+	m, err := ParseManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := machine.MustNew(machine.PineA64Config(42))
+	h, err := New(node, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &stubPrimary{t: t, h: h, node: node, handlerCost: sim.FromMicros(5), evict: 16}
+	h.AttachPrimary(p)
+	for name, g := range guests {
+		vm, ok := h.VMByName(name)
+		if !ok {
+			t.Fatalf("no VM %q", name)
+		}
+		if err := h.AttachGuest(vm.ID(), g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return h, p
+}
+
+const basicManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 128
+
+[vm job]
+class = secondary
+vcpus = 1
+memory_mb = 128
+`

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"khsim/internal/noise"
+	"khsim/internal/sim"
+	"khsim/internal/stats"
+	"khsim/internal/workload"
+)
+
+// Cell is one (benchmark, configuration) measurement.
+type Cell struct {
+	Bench  string
+	Config Config
+	Stats  stats.Summary
+}
+
+// Table is a benchmark × configuration result matrix.
+type Table struct {
+	Title   string
+	Benches []string
+	Units   map[string]string
+	Cells   map[string]map[Config]stats.Summary
+}
+
+func newTable(title string) *Table {
+	return &Table{
+		Title: title,
+		Units: map[string]string{},
+		Cells: map[string]map[Config]stats.Summary{},
+	}
+}
+
+func (t *Table) add(bench, units string, cfg Config, s stats.Summary) {
+	if t.Cells[bench] == nil {
+		t.Cells[bench] = map[Config]stats.Summary{}
+		t.Benches = append(t.Benches, bench)
+		t.Units[bench] = units
+	}
+	t.Cells[bench][cfg] = s
+}
+
+// Get returns the summary for one cell.
+func (t *Table) Get(bench string, cfg Config) stats.Summary {
+	return t.Cells[bench][cfg]
+}
+
+// Normalized returns each configuration's mean divided by Native's —
+// the paper's Fig 7 / Fig 9 presentation.
+func (t *Table) Normalized(bench string) map[Config]float64 {
+	out := map[Config]float64{}
+	base := t.Cells[bench][Native].Mean
+	for _, cfg := range Configs {
+		if base != 0 {
+			out[cfg] = t.Cells[bench][cfg].Mean / base
+		}
+	}
+	return out
+}
+
+// Format renders the raw-values table (Fig 8 / Fig 10 style).
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	fmt.Fprintf(&sb, "%-14s %-8s", "benchmark", "units")
+	for _, cfg := range Configs {
+		fmt.Fprintf(&sb, " %14s %12s", cfg.String()+"-mean", "stdev")
+	}
+	sb.WriteByte('\n')
+	for _, b := range t.Benches {
+		fmt.Fprintf(&sb, "%-14s %-8s", b, t.Units[b])
+		for _, cfg := range Configs {
+			s := t.Cells[b][cfg]
+			fmt.Fprintf(&sb, " %14.6g %12.3g", s.Mean, s.Stdev)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatNormalized renders the normalized series (Fig 7 / Fig 9 style).
+func (t *Table) FormatNormalized() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (normalized to native)\n", t.Title)
+	fmt.Fprintf(&sb, "%-14s", "benchmark")
+	for _, cfg := range Configs {
+		fmt.Fprintf(&sb, " %10s", cfg)
+	}
+	sb.WriteByte('\n')
+	for _, b := range t.Benches {
+		fmt.Fprintf(&sb, "%-14s", b)
+		norm := t.Normalized(b)
+		for _, cfg := range Configs {
+			fmt.Fprintf(&sb, " %10.4f", norm[cfg])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SelfishExperiment reproduces Figures 4–6: one selfish-detour trace per
+// configuration.
+func SelfishExperiment(seed uint64, runTime sim.Duration) (map[Config]*noise.SelfishResult, error) {
+	out := map[Config]*noise.SelfishResult{}
+	for _, cfg := range Configs {
+		r, err := RunSelfish(cfg, seed, runTime)
+		if err != nil {
+			return nil, err
+		}
+		out[cfg] = r
+	}
+	return out, nil
+}
+
+// MicroExperiment reproduces Figures 7 and 8: HPCG, STREAM and
+// RandomAccess across the three configurations.
+func MicroExperiment(trials int, seed uint64) (*Table, error) {
+	return runBenchTable("HPCG / STREAM / RandomAccess (Fig 7/8)",
+		[]workload.Spec{workload.HPCG(), workload.Stream(), workload.GUPS()}, trials, seed)
+}
+
+// NASExperiment reproduces Figures 9 and 10: the NAS subset.
+func NASExperiment(trials int, seed uint64) (*Table, error) {
+	return runBenchTable("NAS LU / BT / CG / EP / SP (Fig 9/10)",
+		[]workload.Spec{workload.NASLU(), workload.NASBT(), workload.NASCG(), workload.NASEP(), workload.NASSP()},
+		trials, seed)
+}
+
+func runBenchTable(title string, specs []workload.Spec, trials int, seed uint64) (*Table, error) {
+	t := newTable(title)
+	for _, spec := range specs {
+		for _, cfg := range Configs {
+			s, err := Trials(cfg, spec, trials, seed)
+			if err != nil {
+				return nil, err
+			}
+			t.add(spec.Name, spec.Units, cfg, s.Summarize())
+		}
+	}
+	return t, nil
+}
+
+// FormatSelfish renders the three noise profiles side by side.
+func FormatSelfish(res map[Config]*noise.SelfishResult) string {
+	var sb strings.Builder
+	sb.WriteString("Selfish-detour noise profiles (Fig 4-6)\n")
+	var cfgs []Config
+	for c := range res {
+		cfgs = append(cfgs, c)
+	}
+	sort.Slice(cfgs, func(i, j int) bool { return cfgs[i] < cfgs[j] })
+	for _, c := range cfgs {
+		sb.WriteString(res[c].Summary())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

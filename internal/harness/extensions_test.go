@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"khsim/internal/sim"
+	"khsim/internal/workload"
+)
+
+func TestParallelWorkloadScales(t *testing.T) {
+	spec := workload.NASEP() // compute-bound: clean scaling
+	agg1, sp1, err := RunParallelWorkload(KittenVM, spec, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg4, sp4, err := RunParallelWorkload(KittenVM, spec, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg1.Finished || !agg4.Finished {
+		t.Fatal("not finished")
+	}
+	if sp4 < 3.7 || sp4 > 4.1 {
+		t.Fatalf("4-way speedup = %v, want ≈4", sp4)
+	}
+	if sp1 < 0.95 || sp1 > 1.05 {
+		t.Fatalf("1-way speedup = %v, want ≈1", sp1)
+	}
+	if agg4.Rate < 3.5*agg1.Rate {
+		t.Fatalf("aggregate rate did not scale: %v vs %v", agg4.Rate, agg1.Rate)
+	}
+}
+
+func TestParallelWorkloadValidation(t *testing.T) {
+	if _, _, err := RunParallelWorkload(Native, workload.NASEP(), 2, 1); err == nil {
+		t.Fatal("native parallel accepted")
+	}
+	if _, _, err := RunParallelWorkload(KittenVM, workload.NASEP(), 0, 1); err == nil {
+		t.Fatal("0 vcpus accepted")
+	}
+	if _, _, err := RunParallelWorkload(KittenVM, workload.NASEP(), 9, 1); err == nil {
+		t.Fatal("9 vcpus accepted")
+	}
+	if _, err := workload.NewParallel(workload.NASEP(), workload.Env{}, 0); err == nil {
+		t.Fatal("NewParallel(0) accepted")
+	}
+}
+
+func TestInterferenceCrossCoreIsolation(t *testing.T) {
+	// Hog pinned to another core: the victim must be essentially
+	// unaffected under a Kitten primary — the paper's isolation thesis.
+	res, err := RunInterference(KittenVM, workload.NASEP(), 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Slowdown(); s > 1.01 || s < 0.99 {
+		t.Fatalf("cross-core slowdown = %v, want ≈1.0", s)
+	}
+}
+
+func TestInterferenceSameCoreFairSharing(t *testing.T) {
+	// Hog sharing the victim's core: Kitten's round-robin gives a clean,
+	// deterministic ~2× slowdown.
+	res, err := RunInterference(KittenVM, workload.NASEP(), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Slowdown()
+	if s < 1.85 || s > 2.15 {
+		t.Fatalf("same-core slowdown = %v, want ≈2.0 (fair RR)", s)
+	}
+}
+
+func TestInterferenceLinuxLessDeterministic(t *testing.T) {
+	// Same experiment under a Linux primary: sharing still happens, but
+	// the slowdown deviates further from the clean 2.0 and the victim
+	// accumulates more preemptions.
+	kit, err := RunInterference(KittenVM, workload.NASEP(), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := RunInterference(LinuxVM, workload.NASEP(), 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Contended.Preempts <= kit.Contended.Preempts {
+		t.Fatalf("linux contended preempts %d not above kitten %d",
+			lin.Contended.Preempts, kit.Contended.Preempts)
+	}
+	// (Stolen time itself is dominated by the hog's fair share in both
+	// configurations, so the discriminators are event counts and spread.)
+	// Determinism: across seeds, the Kitten slowdown varies less than the
+	// Linux one ("more deterministic scheduling behaviors", §I). Use a
+	// jitter-free spec so only scheduler nondeterminism remains: Kitten's
+	// round-robin is seed-independent, Linux's kthread arrivals are not.
+	flat := workload.NASEP()
+	flat.Jitter = 0
+	spread := func(cfg Config) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for seed := uint64(11); seed < 14; seed++ {
+			r, err := RunInterference(cfg, flat, seed, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := r.Slowdown()
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+		}
+		return hi - lo
+	}
+	if ks, ls := spread(KittenVM), spread(LinuxVM); ls <= ks {
+		t.Fatalf("linux slowdown spread %v not above kitten %v", ls, ks)
+	}
+	if _, err := RunInterference(Native, workload.NASEP(), 1, true); err == nil {
+		t.Fatal("native interference accepted")
+	}
+}
+
+func TestDeviceNoiseScalesWithIRQRate(t *testing.T) {
+	quiet, err := RunDeviceNoise(KittenVM, workload.NASEP(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storm, err := RunDeviceNoise(KittenVM, workload.NASEP(), 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if storm.IRQsRaised == 0 {
+		t.Fatal("device raised nothing")
+	}
+	if storm.Result.Stolen <= 4*quiet.Result.Stolen {
+		t.Fatalf("device storm stolen %v not ≫ quiet %v",
+			storm.Result.Stolen, quiet.Result.Stolen)
+	}
+	if storm.Result.Rate >= quiet.Result.Rate {
+		t.Fatal("device storm did not reduce throughput")
+	}
+	// Moderate rates cost less than the storm.
+	mid, err := RunDeviceNoise(KittenVM, workload.NASEP(), 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mid.Result.Stolen > quiet.Result.Stolen && mid.Result.Stolen < storm.Result.Stolen) {
+		t.Fatalf("stolen not monotone in IRQ rate: %v / %v / %v",
+			quiet.Result.Stolen, mid.Result.Stolen, storm.Result.Stolen)
+	}
+	if _, err := RunDeviceNoise(Native, workload.NASEP(), 100, 1); err == nil {
+		t.Fatal("native device-noise accepted")
+	}
+}
+
+func TestParallelShardAccounting(t *testing.T) {
+	spec := workload.NASCG()
+	par, err := workload.NewParallel(spec, workload.Env{TwoStage: true, RNG: sim.NewRNG(2)}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Shard(1).Name() == "" {
+		t.Fatal("shard name empty")
+	}
+	agg, _, err := RunParallelWorkload(KittenVM, spec, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Preempts == 0 {
+		t.Fatal("no preemptions recorded across shards")
+	}
+}
+
+func TestGuestKernelChoiceMatters(t *testing.T) {
+	spec := workload.NASEP()
+	kit, err := RunWorkloadGuest(KittenVM, GuestKitten, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := RunWorkloadGuest(KittenVM, GuestLinux, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Linux guest's own 250 Hz tick + in-guest kthread work slows the
+	// workload even under a quiet Kitten primary.
+	if lin.Stolen <= 5*kit.Stolen {
+		t.Fatalf("linux-guest stolen %v not ≫ kitten-guest %v", lin.Stolen, kit.Stolen)
+	}
+	if lin.Rate >= kit.Rate {
+		t.Fatalf("linux-guest rate %v not below kitten-guest %v", lin.Rate, kit.Rate)
+	}
+	if GuestKitten.String() == GuestLinux.String() {
+		t.Fatal("guest kernel names collide")
+	}
+	if _, err := RunWorkloadGuest(Native, GuestKitten, spec, 1); err == nil {
+		t.Fatal("native guest run accepted")
+	}
+	if _, err := RunWorkloadGuest(KittenVM, GuestKernel(9), spec, 1); err == nil {
+		t.Fatal("unknown guest kernel accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// Package harness runs the paper's three evaluation configurations —
+// native Kitten, a Kitten secondary VM with a Kitten scheduler VM, and a
+// Kitten secondary VM with a Linux scheduler VM — and regenerates every
+// figure and table of §V.
+package harness
+
+import (
+	"fmt"
+
+	"khsim/internal/core"
+	"khsim/internal/kitten"
+	"khsim/internal/noise"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+	"khsim/internal/stats"
+	"khsim/internal/workload"
+)
+
+// Config is one of the paper's three execution configurations.
+type Config int
+
+// The three configurations of §V.
+const (
+	// Native: the benchmark runs on bare-metal Kitten (Fig 4 baseline).
+	Native Config = iota
+	// KittenVM: the benchmark runs in a Kitten secondary VM with Kitten
+	// as the Hafnium primary scheduler (the paper's system, Fig 5).
+	KittenVM
+	// LinuxVM: the benchmark runs in a Kitten secondary VM with Linux as
+	// the Hafnium primary scheduler (the baseline, Fig 6).
+	LinuxVM
+)
+
+// Configs lists the three configurations in paper order.
+var Configs = []Config{Native, KittenVM, LinuxVM}
+
+func (c Config) String() string {
+	switch c {
+	case Native:
+		return "native"
+	case KittenVM:
+		return "kitten"
+	case LinuxVM:
+		return "linux"
+	default:
+		return fmt.Sprintf("Config(%d)", int(c))
+	}
+}
+
+// TwoStage reports whether the configuration runs the workload under
+// nested translation.
+func (c Config) TwoStage() bool { return c != Native }
+
+// vmManifest is the partition plan for the virtualized configurations:
+// a 4-VCPU primary plus one single-VCPU job VM sized like the paper's
+// benchmark environment.
+const vmManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 256
+
+[vm job]
+class = secondary
+vcpus = 1
+memory_mb = 512
+working_set_pages = 256
+`
+
+// runProcess executes proc to completion in the given configuration and
+// reports an error if it does not finish within horizon.
+func runProcess(cfg Config, seed uint64, proc osapi.Process, finished func() bool, horizon sim.Duration) error {
+	switch cfg {
+	case Native:
+		n, err := core.NewNativeNode(seed, kitten.Params{})
+		if err != nil {
+			return err
+		}
+		if _, err := n.Kernel.Spawn(proc.Name(), 0, proc); err != nil {
+			return err
+		}
+		n.Run(horizon)
+	case KittenVM, LinuxVM:
+		sched := core.SchedulerKitten
+		if cfg == LinuxVM {
+			sched = core.SchedulerLinux
+		}
+		n, err := core.NewSecureNode(core.Options{
+			Seed:      seed,
+			Manifest:  vmManifest,
+			Scheduler: sched,
+		})
+		if err != nil {
+			return err
+		}
+		guest := kitten.NewGuest(kitten.DefaultParams())
+		guest.Attach(0, proc)
+		if err := n.AttachGuest("job", guest); err != nil {
+			return err
+		}
+		if err := n.Boot(); err != nil {
+			return err
+		}
+		n.Run(horizon)
+	default:
+		return fmt.Errorf("harness: unknown config %v", cfg)
+	}
+	if !finished() {
+		return fmt.Errorf("harness: %s did not finish within %v on %v", proc.Name(), horizon, cfg)
+	}
+	return nil
+}
+
+// RunCustom boots a secure node with explicit options, runs proc on VCPU 0
+// of the VM named jobVM under a Kitten guest kernel with guestParams, and
+// simulates until finished() or the horizon. Ablation benches use it to
+// sweep tick rates, routing and TLB policies.
+func RunCustom(opts core.Options, jobVM string, guestParams kitten.Params, proc osapi.Process, finished func() bool, horizon sim.Duration) (*core.SecureNode, error) {
+	n, err := core.NewSecureNode(opts)
+	if err != nil {
+		return nil, err
+	}
+	guest := kitten.NewGuest(guestParams)
+	guest.Attach(0, proc)
+	if err := n.AttachGuest(jobVM, guest); err != nil {
+		return nil, err
+	}
+	if err := n.Boot(); err != nil {
+		return nil, err
+	}
+	n.Run(horizon)
+	if !finished() {
+		return nil, fmt.Errorf("harness: %s did not finish within %v", proc.Name(), horizon)
+	}
+	return n, nil
+}
+
+// RunSelfish runs the selfish-detour benchmark (Figs 4–6) for runTime of
+// spin work in the given configuration.
+func RunSelfish(cfg Config, seed uint64, runTime sim.Duration) (*noise.SelfishResult, error) {
+	s := noise.NewSelfish(cfg.String(), runTime)
+	horizon := runTime + runTime/2 + sim.FromSeconds(2)
+	if err := runProcess(cfg, seed, s, func() bool { return s.Result.Finished }, horizon); err != nil {
+		return nil, err
+	}
+	return &s.Result, nil
+}
+
+// RunFTQ runs the fixed-time-quantum benchmark in the given configuration.
+func RunFTQ(cfg Config, seed uint64, windows int) (*noise.FTQ, error) {
+	f := noise.NewFTQ(cfg.String(), windows)
+	horizon := sim.Duration(windows)*f.Window*2 + sim.FromSeconds(2)
+	if err := runProcess(cfg, seed, f, func() bool { return f.Finished }, horizon); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RunWorkload runs one benchmark trial in the given configuration.
+func RunWorkload(cfg Config, spec workload.Spec, seed uint64) (workload.Result, error) {
+	env := workload.Env{TwoStage: cfg.TwoStage(), RNG: sim.NewRNG(seed*2654435761 + uint64(cfg))}
+	r := workload.New(spec, env)
+	est := sim.FromSeconds(spec.TotalOps / spec.NativeRate)
+	horizon := est*2 + sim.FromSeconds(2)
+	if err := runProcess(cfg, seed, r, func() bool { return r.Result.Finished }, horizon); err != nil {
+		return workload.Result{}, err
+	}
+	return r.Result, nil
+}
+
+// Trials runs n seeded trials of a benchmark and returns the rate sample
+// (in the spec's reporting units).
+func Trials(cfg Config, spec workload.Spec, n int, seedBase uint64) (*stats.Sample, error) {
+	var s stats.Sample
+	for i := 0; i < n; i++ {
+		res, err := RunWorkload(cfg, spec, seedBase+uint64(i)*7919+1)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(res.Rate)
+	}
+	return &s, nil
+}

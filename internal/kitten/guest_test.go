@@ -1,0 +1,139 @@
+package kitten
+
+import (
+	"testing"
+
+	"khsim/internal/hafnium"
+	"khsim/internal/machine"
+	"khsim/internal/sim"
+)
+
+func TestGuestWithoutProcessQuiesces(t *testing.T) {
+	node, h, prim, guest := buildStack(t, stackManifest, nil)
+	job, _ := h.VMByName("job")
+	node.Engine.Run(sim.Time(sim.FromSeconds(1)))
+	// The guest booted once, blocked, and cancelled its timer: no churn.
+	if job.VCPU(0).State() != hafnium.VCPUBlocked {
+		t.Fatalf("vcpu state = %v", job.VCPU(0).State())
+	}
+	if guest.Ticks() != 0 {
+		t.Fatalf("ticks = %d for an idle guest", guest.Ticks())
+	}
+	// The primary keeps ticking regardless.
+	if prim.Ticks() == 0 {
+		t.Fatal("primary not ticking")
+	}
+	if job.VCPU(0).VTimerArmed() {
+		t.Fatal("idle guest kept its vtimer armed")
+	}
+}
+
+func TestGuestDoneQuiescesTimer(t *testing.T) {
+	work := &chunkProc{label: "short", d: sim.FromMicros(500), n: 2}
+	node, h, _, guest := buildStack(t, stackManifest, work)
+	node.Engine.Run(sim.Time(sim.FromSeconds(2)))
+	if !work.finished || !guest.Done(0) {
+		t.Fatal("workload unfinished")
+	}
+	job, _ := h.VMByName("job")
+	ticksAtDone := guest.Ticks()
+	ws := h.Stats().WorldSwitches
+	node.Engine.Run(sim.Time(sim.FromSeconds(4)))
+	if guest.Ticks() != ticksAtDone {
+		t.Fatal("guest kept ticking after Done")
+	}
+	// No further world switches for this VM either: the node is quiet.
+	if h.Stats().WorldSwitches != ws {
+		t.Fatalf("world switches grew %d→%d after quiesce", ws, h.Stats().WorldSwitches)
+	}
+	if job.VCPU(0).VTimerArmed() {
+		t.Fatal("vtimer armed after Done")
+	}
+}
+
+func TestGuestMultiVCPUWorkloads(t *testing.T) {
+	manifest := `
+[vm kitten]
+class = primary
+vcpus = 4
+memory_mb = 128
+
+[vm wide]
+class = secondary
+vcpus = 2
+memory_mb = 128
+`
+	m, _ := hafnium.ParseManifest(manifest)
+	node := machine.MustNew(machine.PineA64Config(77))
+	h, err := hafnium.New(node, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim := NewPrimary(h, DefaultParams())
+	h.AttachPrimary(prim)
+	guest := NewGuest(DefaultParams())
+	w0 := &chunkProc{label: "w0", d: sim.FromMicros(800), n: 3}
+	w1 := &chunkProc{label: "w1", d: sim.FromMicros(800), n: 3}
+	guest.Attach(0, w0)
+	guest.Attach(1, w1)
+	wide, _ := h.VMByName("wide")
+	h.AttachGuest(wide.ID(), guest)
+	prim.AddVM(wide)
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(1)))
+	if !w0.finished || !w1.finished {
+		t.Fatalf("w0=%v w1=%v", w0.finished, w1.finished)
+	}
+	if !guest.Done(0) || !guest.Done(1) {
+		t.Fatal("per-vcpu done flags wrong")
+	}
+}
+
+func TestGuestNotificationHook(t *testing.T) {
+	work := &chunkProc{label: "spin", d: sim.FromSeconds(5), n: 10}
+	node, h, _, guest := buildStack(t, stackManifest, work)
+	var notified int
+	guest.OnNotification = func(vc *hafnium.VCPU) { notified++ }
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.05)))
+	job, _ := h.VMByName("job")
+	if err := h.Notify(hafnium.PrimaryID, job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(node.Now().Add(sim.FromSeconds(0.05)))
+	if notified != 1 {
+		t.Fatalf("notified = %d", notified)
+	}
+}
+
+func TestGuestMailboxWithoutHandlerIsDiscarded(t *testing.T) {
+	work := &chunkProc{label: "spin", d: sim.FromSeconds(5), n: 10}
+	node, h, _, guest := buildStack(t, stackManifest, work)
+	guest.OnMessage = nil
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.05)))
+	job, _ := h.VMByName("job")
+	if err := h.SendFromPrimary(job.ID(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(node.Now().Add(sim.FromSeconds(0.05)))
+	// The message was consumed (mailbox free again) even without a handler.
+	if err := h.SendFromPrimary(job.ID(), []byte("ping2")); err != nil {
+		t.Fatalf("mailbox still busy: %v", err)
+	}
+}
+
+func TestTaskAccessors(t *testing.T) {
+	work := &chunkProc{label: "w", d: sim.FromMicros(10), n: 1}
+	_, h, prim, _ := buildStack(t, stackManifest, work)
+	job, _ := h.VMByName("job")
+	tk := prim.Task(job.VCPU(0))
+	if tk.Name() == "" || !tk.IsVCPU() || tk.String() == "" {
+		t.Fatal("task accessors wrong")
+	}
+	for _, s := range []TaskState{TaskReady, TaskRunning, TaskBlocked, TaskDone} {
+		if s.String() == "" {
+			t.Fatal("empty state string")
+		}
+	}
+}

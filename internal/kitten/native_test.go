@@ -1,0 +1,165 @@
+package kitten
+
+import (
+	"testing"
+
+	"khsim/internal/machine"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+)
+
+// chunkProc runs n chunks of d each, recording preempt/resume noise.
+type chunkProc struct {
+	label     string
+	d         sim.Duration
+	n         int
+	completed int
+	preempts  int
+	stolen    sim.Duration
+	doneAt    sim.Time
+	finished  bool
+}
+
+func (p *chunkProc) Name() string { return p.label }
+
+func (p *chunkProc) Main(x osapi.Executor) {
+	osapi.Loop(p.n, func(i int, next func()) {
+		x.Run(&machine.Activity{
+			Label:     p.label,
+			Remaining: p.d,
+			OnComplete: func() {
+				p.completed++
+				next()
+			},
+			OnPreempt: func(at sim.Time) { p.preempts++ },
+			OnResume:  func(at sim.Time, stolen sim.Duration) { p.stolen += stolen },
+		})
+	}, func() {
+		p.doneAt = x.Now()
+		p.finished = true
+		x.Done()
+	})
+}
+
+func newNativeKernel(t *testing.T) (*machine.Node, *Native) {
+	t.Helper()
+	node := machine.MustNew(machine.PineA64Config(11))
+	k := NewNative(node, DefaultParams())
+	return node, k
+}
+
+func TestNativeRunsProcessToCompletion(t *testing.T) {
+	node, k := newNativeKernel(t)
+	p := &chunkProc{label: "bench", d: sim.FromSeconds(0.05), n: 10}
+	if _, err := k.Spawn("bench", 0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(1)))
+	if !p.finished || p.completed != 10 {
+		t.Fatalf("finished=%v completed=%d", p.finished, p.completed)
+	}
+	// 0.5s of work with 10Hz ticks: expect ~5 preemptions, each stealing
+	// only microseconds.
+	if p.preempts < 3 || p.preempts > 8 {
+		t.Fatalf("preempts = %d, want ~5", p.preempts)
+	}
+	perTick := p.stolen / sim.Duration(p.preempts)
+	if perTick > sim.FromMicros(10) {
+		t.Fatalf("per-tick detour %v too large for an LWK", perTick)
+	}
+	if k.Ticks() == 0 {
+		t.Fatal("no ticks counted")
+	}
+}
+
+func TestNativeSpawnValidation(t *testing.T) {
+	_, k := newNativeKernel(t)
+	if _, err := k.Spawn("x", -1, &chunkProc{}); err == nil {
+		t.Fatal("bad core accepted")
+	}
+	if _, err := k.Spawn("x", 99, &chunkProc{}); err == nil {
+		t.Fatal("bad core accepted")
+	}
+}
+
+func TestNativeRoundRobinSharesCore(t *testing.T) {
+	node, k := newNativeKernel(t)
+	a := &chunkProc{label: "a", d: sim.FromSeconds(0.3), n: 2}
+	b := &chunkProc{label: "b", d: sim.FromSeconds(0.3), n: 2}
+	k.Spawn("a", 0, a)
+	k.Spawn("b", 0, b)
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(2)))
+	if !a.finished || !b.finished {
+		t.Fatalf("a=%v b=%v", a.finished, b.finished)
+	}
+	// Round-robin with 100ms quanta: both finish around 1.2s, and the
+	// second task cannot finish 0.6s of work before 1.1s.
+	if b.doneAt < sim.Time(sim.FromSeconds(1.1)) {
+		t.Fatalf("b finished at %v — no interleaving", b.doneAt)
+	}
+	if a.doneAt.Seconds() > 1.35 || b.doneAt.Seconds() > 1.35 {
+		t.Fatalf("finish times %v / %v too late", a.doneAt, b.doneAt)
+	}
+}
+
+func TestNativeSpawnOntoIdleRunningKernel(t *testing.T) {
+	node, k := newNativeKernel(t)
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.25)))
+	p := &chunkProc{label: "late", d: sim.FromMicros(100), n: 1}
+	if _, err := k.Spawn("late", 2, p); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.3)))
+	if !p.finished {
+		t.Fatal("late spawn never ran")
+	}
+	if k.Current(2) != nil {
+		t.Fatal("core 2 not released")
+	}
+}
+
+func TestNativeTicksContinueWhenIdle(t *testing.T) {
+	node, k := newNativeKernel(t)
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(1)))
+	// 4 cores × 10Hz × 1s ≈ 40 ticks (minus boot offsets).
+	if k.Ticks() < 30 || k.Ticks() > 45 {
+		t.Fatalf("ticks = %d", k.Ticks())
+	}
+}
+
+func TestNativeMultiCoreIndependence(t *testing.T) {
+	node, k := newNativeKernel(t)
+	procs := make([]*chunkProc, 4)
+	for i := range procs {
+		procs[i] = &chunkProc{label: "p", d: sim.FromSeconds(0.1), n: 3}
+		k.Spawn("p", i, procs[i])
+	}
+	if err := k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(1)))
+	for i, p := range procs {
+		if !p.finished {
+			t.Fatalf("proc on core %d unfinished", i)
+		}
+		// Running alone per core: finish ≈ 0.3s + noise.
+		if p.doneAt.Seconds() > 0.31 {
+			t.Fatalf("core %d finished at %v", i, p.doneAt)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package kitten models the Kitten lightweight kernel in the three roles
+// the paper uses it: running natively on the node, as Hafnium's primary
+// scheduling VM (the paper's contribution), and as the guest kernel inside
+// secondary VMs.
+//
+// The properties that matter for the evaluation are encoded in Params:
+// a low timer-tick rate with large scheduling quanta, a small fixed-cost
+// tick handler, round-robin run queues, and no background threads or
+// deferred work at all — the LWK design points §III-a credits for the
+// noise advantage over Linux.
+package kitten
+
+import "khsim/internal/sim"
+
+// Params are Kitten's scheduling and cost parameters.
+type Params struct {
+	// TickHz is the scheduler tick rate. Kitten is "designed for
+	// non-interactive jobs, allowing significantly larger time slices ...
+	// and thus lower timer tick rates" (§III-a).
+	TickHz sim.Hertz
+	// TickCost is the tick handler: timer re-arm plus a constant-time
+	// round-robin policy check.
+	TickCost sim.Duration
+	// QuantumTicks is the round-robin quantum in ticks.
+	QuantumTicks int
+	// CtxSwitch is a task context switch (register save/restore, runqueue
+	// manipulation).
+	CtxSwitch sim.Duration
+	// ControlCost is one control-task job-control operation (parse a
+	// command, invoke lifecycle hypercalls).
+	ControlCost sim.Duration
+	// EvictPages estimates how many TLB entries one Kitten activation
+	// evicts — small, because the tick path touches a handful of pages.
+	EvictPages int
+}
+
+// DefaultParams returns the Kitten configuration used in the evaluation:
+// a 10 Hz tick and microsecond-scale handler costs, matching the sparse,
+// short detours of the paper's Fig 4.
+func DefaultParams() Params {
+	return Params{
+		TickHz:       10,
+		TickCost:     sim.FromMicros(1.8),
+		QuantumTicks: 1,
+		CtxSwitch:    sim.FromMicros(1.1),
+		ControlCost:  sim.FromMicros(25),
+		EvictPages:   8,
+	}
+}

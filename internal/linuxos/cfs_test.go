@@ -1,0 +1,167 @@
+package linuxos
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCFSPicksLowestVruntime(t *testing.T) {
+	c := NewCFS(6e6)
+	a := &Entity{Name: "a"}
+	b := &Entity{Name: "b"}
+	c.Enqueue(a)
+	c.Enqueue(b)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	got := c.PickNext()
+	if got != a && got != b {
+		t.Fatal("picked stranger")
+	}
+	// Charge the runner heavily; requeue; the other must be picked.
+	c.Account(10e6)
+	c.Requeue()
+	other := a
+	if got == a {
+		other = b
+	}
+	if next := c.PickNext(); next != other {
+		t.Fatalf("picked %s, want %s", next.Name, other.Name)
+	}
+}
+
+func TestCFSDoubleEnqueueRejected(t *testing.T) {
+	c := NewCFS(6e6)
+	a := &Entity{Name: "a"}
+	if err := c.Enqueue(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(a); err == nil {
+		t.Fatal("double enqueue accepted")
+	}
+	c.PickNext()
+	if err := c.Enqueue(a); err == nil {
+		t.Fatal("enqueue of running entity accepted")
+	}
+}
+
+func TestCFSSleeperClamp(t *testing.T) {
+	c := NewCFS(6e6)
+	hog := &Entity{Name: "hog"}
+	c.Enqueue(hog)
+	c.PickNext()
+	c.Account(100e6) // hog ran 100ms
+	c.Requeue()
+	// A fresh waker must not be infinitely behind: clamped to min - 3ms.
+	w := &Entity{Name: "waker"}
+	c.Enqueue(w)
+	if w.Vruntime() < c.MinVruntime()-3e6-1 {
+		t.Fatalf("sleeper vruntime %v way below min %v", w.Vruntime(), c.MinVruntime())
+	}
+	// But it still lands in front of the hog.
+	if c.PickNext() != w {
+		t.Fatal("waker did not preempt hog")
+	}
+}
+
+func TestCFSShouldPreempt(t *testing.T) {
+	c := NewCFS(6e6)
+	run := &Entity{Name: "run"}
+	c.Enqueue(run)
+	c.PickNext()
+	c.Account(50e6)
+	if c.ShouldPreempt(1e6) {
+		t.Fatal("preempt with empty queue")
+	}
+	w := &Entity{Name: "w"}
+	c.Enqueue(w)
+	if !c.ShouldPreempt(1e6) {
+		t.Fatal("no preempt although waker is far behind")
+	}
+	// A head barely behind does not preempt (granularity).
+	c2 := NewCFS(6e6)
+	x := &Entity{Name: "x"}
+	c2.Enqueue(x)
+	c2.PickNext()
+	c2.Account(0.5e6)
+	y := &Entity{Name: "y", vruntime: 0.2e6}
+	c2.Enqueue(y)
+	if c2.ShouldPreempt(1e6) {
+		t.Fatal("preempted within granularity")
+	}
+}
+
+func TestCFSWeightedAccounting(t *testing.T) {
+	c := NewCFS(6e6)
+	heavy := &Entity{Name: "heavy", Weight: 2048}
+	c.Enqueue(heavy)
+	c.PickNext()
+	c.Account(10e6)
+	if heavy.Vruntime() != 5e6 {
+		t.Fatalf("weighted vruntime = %v, want 5e6", heavy.Vruntime())
+	}
+}
+
+func TestCFSDequeueRemove(t *testing.T) {
+	c := NewCFS(6e6)
+	a := &Entity{Name: "a"}
+	b := &Entity{Name: "b"}
+	c.Enqueue(a)
+	c.Enqueue(b)
+	c.PickNext()
+	c.Dequeue()
+	if c.Running() != nil {
+		t.Fatal("running survives dequeue")
+	}
+	queued := c.PickNext()
+	c.Dequeue()
+	_ = queued
+	if c.PickNext() != nil {
+		t.Fatal("queue not empty")
+	}
+	// Remove from queue.
+	c.Enqueue(a)
+	c.Remove(a)
+	if c.Len() != 0 || a.OnRunqueue() {
+		t.Fatal("remove failed")
+	}
+}
+
+// Property: under random enqueue/pick/account/requeue traffic, vruntime
+// spread across entities stays bounded by runtime of a few quanta — the
+// fairness invariant of CFS.
+func TestQuickCFSFairnessSpread(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := NewCFS(6e6)
+		ents := make([]*Entity, 4)
+		for i := range ents {
+			ents[i] = &Entity{Name: string(rune('a' + i))}
+			c.Enqueue(ents[i])
+		}
+		for _, op := range ops {
+			if c.Running() == nil {
+				if c.PickNext() == nil {
+					return false
+				}
+			}
+			// Run one "tick" of 4ms, occasionally requeue.
+			c.Account(4e6)
+			if op%3 == 0 || c.ShouldPreempt(1e6) {
+				c.Requeue()
+			}
+		}
+		// With 4 always-runnable entities and fair picks, spread stays
+		// within a few scheduling latencies.
+		return c.SpreadNS() <= 4*6e6+4e6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCFSSpreadEmpty(t *testing.T) {
+	c := NewCFS(6e6)
+	if c.SpreadNS() != 0 {
+		t.Fatal("spread of empty queue nonzero")
+	}
+}

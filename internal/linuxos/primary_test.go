@@ -1,0 +1,269 @@
+package linuxos
+
+import (
+	"testing"
+
+	"khsim/internal/hafnium"
+	"khsim/internal/kitten"
+	"khsim/internal/machine"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+)
+
+const stackManifest = `
+[vm linux]
+class = primary
+vcpus = 4
+memory_mb = 256
+
+[vm job]
+class = secondary
+vcpus = 1
+memory_mb = 128
+`
+
+// spinProc mirrors the kitten test workload: n chunks of d, instrumented.
+type spinProc struct {
+	d         sim.Duration
+	n         int
+	completed int
+	preempts  int
+	stolen    sim.Duration
+	finished  bool
+	doneAt    sim.Time
+}
+
+func (p *spinProc) Name() string { return "spin" }
+
+func (p *spinProc) Main(x osapi.Executor) {
+	osapi.Loop(p.n, func(i int, next func()) {
+		x.Run(&machine.Activity{
+			Label:     "spin",
+			Remaining: p.d,
+			OnComplete: func() {
+				p.completed++
+				next()
+			},
+			OnPreempt: func(at sim.Time) { p.preempts++ },
+			OnResume:  func(at sim.Time, stolen sim.Duration) { p.stolen += stolen },
+		})
+	}, func() {
+		p.finished = true
+		p.doneAt = x.Now()
+		x.Done()
+	})
+}
+
+func buildLinuxStack(t *testing.T, p Params, work *spinProc) (*machine.Node, *hafnium.Hypervisor, *Primary, *kitten.Guest) {
+	t.Helper()
+	m, err := hafnium.ParseManifest(stackManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := machine.MustNew(machine.PineA64Config(77))
+	h, err := hafnium.New(node, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim := NewPrimary(h, p)
+	h.AttachPrimary(prim)
+	guest := kitten.NewGuest(kitten.DefaultParams())
+	if work != nil {
+		guest.Attach(0, work)
+	}
+	job, _ := h.VMByName("job")
+	if err := h.AttachGuest(job.ID(), guest); err != nil {
+		t.Fatal(err)
+	}
+	if err := prim.AddVM(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return node, h, prim, guest
+}
+
+func TestLinuxPrimaryRunsGuestWorkload(t *testing.T) {
+	work := &spinProc{d: sim.FromSeconds(0.05), n: 10}
+	node, h, prim, guest := buildLinuxStack(t, DefaultParams(), work)
+	node.Engine.Run(sim.Time(sim.FromSeconds(2)))
+	if !work.finished {
+		t.Fatalf("workload unfinished: %d/10 chunks", work.completed)
+	}
+	// 250Hz tick: the 0.5s workload sees on the order of 125 primary
+	// ticks plus guest ticks plus kthread activations.
+	if work.preempts < 80 {
+		t.Fatalf("preempts = %d, expected ~125+", work.preempts)
+	}
+	if prim.Ticks() < 100 {
+		t.Fatalf("primary ticks = %d", prim.Ticks())
+	}
+	if guest.Ticks() == 0 {
+		t.Fatal("guest never ticked")
+	}
+	if h.Stats().WorldSwitches < 100 {
+		t.Fatalf("world switches = %d", h.Stats().WorldSwitches)
+	}
+}
+
+func TestLinuxKthreadsActivate(t *testing.T) {
+	work := &spinProc{d: sim.FromSeconds(1), n: 2}
+	node, _, prim, _ := buildLinuxStack(t, DefaultParams(), work)
+	node.Engine.Run(sim.Time(sim.FromSeconds(3)))
+	if prim.Wakeups() == 0 {
+		t.Fatal("no kthread wakeups")
+	}
+	var totalActivations uint64
+	for _, kt := range prim.Kthreads() {
+		totalActivations += kt.Activations()
+	}
+	if totalActivations == 0 {
+		t.Fatal("no kthread activations")
+	}
+	// rcu_sched at ~30ms mean over 3s ≈ 100 activations; allow slack.
+	if totalActivations < 50 {
+		t.Fatalf("activations = %d, suspiciously low", totalActivations)
+	}
+}
+
+func TestLinuxNoisierThanKitten(t *testing.T) {
+	// The paper's central claim: replacing Linux with Kitten as the
+	// scheduler VM reduces noise for the secondary VM. Compare total
+	// stolen time for the same workload under both primaries.
+	linuxWork := &spinProc{d: sim.FromSeconds(0.1), n: 5}
+	node, _, _, _ := buildLinuxStack(t, DefaultParams(), linuxWork)
+	node.Engine.Run(sim.Time(sim.FromSeconds(2)))
+	if !linuxWork.finished {
+		t.Fatal("linux workload unfinished")
+	}
+
+	m, _ := hafnium.ParseManifest(`
+[vm kitten]
+class = primary
+vcpus = 4
+memory_mb = 256
+
+[vm job]
+class = secondary
+vcpus = 1
+memory_mb = 128
+`)
+	node2 := machine.MustNew(machine.PineA64Config(77))
+	h2, err := hafnium.New(node2, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kprim := kitten.NewPrimary(h2, kitten.DefaultParams())
+	h2.AttachPrimary(kprim)
+	kittenWork := &spinProc{d: sim.FromSeconds(0.1), n: 5}
+	kg := kitten.NewGuest(kitten.DefaultParams())
+	kg.Attach(0, kittenWork)
+	job, _ := h2.VMByName("job")
+	h2.AttachGuest(job.ID(), kg)
+	kprim.AddVM(job)
+	if err := h2.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	node2.Engine.Run(sim.Time(sim.FromSeconds(2)))
+	if !kittenWork.finished {
+		t.Fatal("kitten workload unfinished")
+	}
+
+	if linuxWork.preempts <= 2*kittenWork.preempts {
+		t.Fatalf("linux preempts %d not ≫ kitten %d", linuxWork.preempts, kittenWork.preempts)
+	}
+	if linuxWork.stolen <= 2*kittenWork.stolen {
+		t.Fatalf("linux stolen %v not ≫ kitten %v", linuxWork.stolen, kittenWork.stolen)
+	}
+}
+
+func TestLinuxSpawnProcessCompetesFairly(t *testing.T) {
+	// Two CPU-bound processes on one primary core should both finish and
+	// split the core roughly evenly.
+	node, _, prim, _ := buildLinuxStack(t, QuietParams(), nil)
+	a := &spinProc{d: sim.FromSeconds(0.2), n: 2}
+	b := &spinProc{d: sim.FromSeconds(0.2), n: 2}
+	if _, err := prim.Spawn("a", 1, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prim.Spawn("b", 1, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prim.Spawn("bad", 17, b); err == nil {
+		t.Fatal("bad core accepted")
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(2)))
+	if !a.finished || !b.finished {
+		t.Fatalf("a=%v b=%v", a.finished, b.finished)
+	}
+	// Fair interleaving: neither can finish its 0.4s before ~0.75s.
+	if a.doneAt < sim.Time(sim.FromSeconds(0.75)) || b.doneAt < sim.Time(sim.FromSeconds(0.75)) {
+		t.Fatalf("no interleaving: a=%v b=%v", a.doneAt, b.doneAt)
+	}
+}
+
+func TestLinuxAddVMValidation(t *testing.T) {
+	_, h, prim, _ := buildLinuxStack(t, QuietParams(), nil)
+	job, _ := h.VMByName("job")
+	if err := prim.AddVM(job, 1, 2); err == nil {
+		t.Fatal("mismatched cores accepted")
+	}
+	if err := prim.AddVM(job, -1); err == nil {
+		t.Fatal("bad core accepted")
+	}
+}
+
+func TestLinuxGuestAsLoginVM(t *testing.T) {
+	manifest := `
+[vm linux]
+class = primary
+vcpus = 4
+memory_mb = 256
+
+[vm login]
+class = super-secondary
+vcpus = 1
+memory_mb = 128
+`
+	m, err := hafnium.ParseManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := machine.MustNew(machine.PineA64Config(5))
+	h, err := hafnium.New(node, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim := NewPrimary(h, QuietParams())
+	h.AttachPrimary(prim)
+	lg := NewGuest(DefaultParams(), 5)
+	var gotDev []int
+	lg.OnDeviceIRQ = func(vc *hafnium.VCPU, virq int) { gotDev = append(gotDev, virq) }
+	login, _ := h.VMByName("login")
+	h.AttachGuest(login.ID(), lg)
+	prim.AddVM(login, 1)
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.1)))
+	// The login VM ticks on its own virtual timer.
+	if lg.Ticks() == 0 {
+		t.Fatal("login VM never ticked")
+	}
+	// A device interrupt reaches its driver via the forward path.
+	const mmcIRQ = 44
+	node.GIC.Enable(mmcIRQ)
+	node.GIC.Route(mmcIRQ, 0)
+	node.GIC.RaiseSPI(mmcIRQ)
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.3)))
+	if prim.Forwards() != 1 {
+		t.Fatalf("forwards = %d", prim.Forwards())
+	}
+	if len(gotDev) != 1 || gotDev[0] != mmcIRQ {
+		t.Fatalf("driver saw %v", gotDev)
+	}
+	if lg.DeviceIRQs() != 1 {
+		t.Fatalf("device irqs = %d", lg.DeviceIRQs())
+	}
+}

@@ -1,0 +1,320 @@
+package machine
+
+import (
+	"fmt"
+
+	"khsim/internal/mmu"
+	"khsim/internal/sim"
+)
+
+// Activity is a span of work a core executes: a slice of a benchmark, an
+// interrupt handler body, a scheduler pass. Activities are preemptible
+// unless marked otherwise; the core accounts partial progress exactly.
+type Activity struct {
+	// Label names the activity in traces.
+	Label string
+	// Remaining is the work left; the core decrements it as time passes.
+	Remaining sim.Duration
+	// OnComplete runs (in event context) when Remaining reaches zero.
+	OnComplete func()
+	// OnPreempt runs when an interrupt suspends the activity.
+	OnPreempt func(at sim.Time)
+	// OnResume runs when the activity continues after suspension; stolen
+	// is the wall time lost since preemption (the selfish-detour signal).
+	OnResume func(at sim.Time, stolen sim.Duration)
+	// Uninterruptible delays IRQ delivery until the activity completes
+	// (models IRQ-masked critical sections).
+	Uninterruptible bool
+
+	preemptedAt sim.Time
+}
+
+// Dispatcher is the OS/hypervisor entry point for interrupts on a core.
+// It runs with the interrupted activity already suspended and interrupts
+// auto-masked; it must start handler work via Core.Exec (or finish
+// immediately), and delivery costs are whatever it executes.
+type Dispatcher func(c *Core)
+
+// Core is one simulated CPU. It executes at most one Activity at a time,
+// keeps a suspension stack for interrupt nesting, and exposes the hooks
+// kernels need: an interrupt dispatcher, an idle callback, and explicit
+// context-switch support (StealSuspended / SetNext).
+type Core struct {
+	id   int
+	node *Node
+
+	cur      *Activity
+	curEvent *sim.Event
+	curStart sim.Time
+	stack    []*Activity
+	next     *Activity
+
+	irqMasked     bool
+	pendingAssert bool
+	dispatcher    Dispatcher
+	onIdle        func(c *Core)
+
+	tlb *mmu.TLB
+
+	busy      sim.Duration
+	idleSince sim.Time
+	preempts  uint64
+}
+
+// ID reports the core number.
+func (c *Core) ID() int { return c.id }
+
+// Node returns the core's node.
+func (c *Core) Node() *Node { return c.node }
+
+// TLB returns the core's private TLB model.
+func (c *Core) TLB() *mmu.TLB { return c.tlb }
+
+// BusyTime reports accumulated execution time.
+func (c *Core) BusyTime() sim.Duration { return c.busy }
+
+// Preemptions reports how many times activities were preempted.
+func (c *Core) Preemptions() uint64 { return c.preempts }
+
+// SetDispatcher installs the interrupt entry point (the running kernel).
+func (c *Core) SetDispatcher(d Dispatcher) { c.dispatcher = d }
+
+// SetOnIdle installs the callback invoked when the core runs out of work.
+func (c *Core) SetOnIdle(fn func(c *Core)) { c.onIdle = fn }
+
+// Idle reports whether the core has no current activity and no suspended
+// work.
+func (c *Core) Idle() bool { return c.cur == nil && len(c.stack) == 0 && c.next == nil }
+
+// Current returns the running activity, if any.
+func (c *Core) Current() *Activity { return c.cur }
+
+// Depth reports the suspension-stack depth (interrupt nesting).
+func (c *Core) Depth() int { return len(c.stack) }
+
+// Run begins executing a on an idle core (or from within a completion or
+// dispatcher callback, where the core is momentarily without a current
+// activity). Running over a live activity is a kernel bug and panics.
+func (c *Core) Run(a *Activity) {
+	if c.cur != nil {
+		panic(fmt.Sprintf("machine: core %d Run(%q) over live activity %q", c.id, a.Label, c.cur.Label))
+	}
+	if a.Remaining < 0 {
+		panic(fmt.Sprintf("machine: activity %q with negative remaining", a.Label))
+	}
+	c.start(a)
+}
+
+// Exec is shorthand for Run with a fresh activity: execute for d, then fn.
+func (c *Core) Exec(label string, d sim.Duration, fn func()) *Activity {
+	a := &Activity{Label: label, Remaining: d, OnComplete: fn}
+	c.Run(a)
+	return a
+}
+
+// ExecUninterruptible is Exec with IRQ delivery held off until completion.
+func (c *Core) ExecUninterruptible(label string, d sim.Duration, fn func()) *Activity {
+	a := &Activity{Label: label, Remaining: d, OnComplete: fn, Uninterruptible: true}
+	c.Run(a)
+	return a
+}
+
+func (c *Core) start(a *Activity) {
+	eng := c.node.Engine
+	c.cur = a
+	c.curStart = eng.Now()
+	c.curEvent = eng.AfterNamed(a.Remaining, "core.complete."+a.Label, func() { c.complete(a) })
+}
+
+func (c *Core) complete(a *Activity) {
+	c.busy += a.Remaining
+	a.Remaining = 0
+	c.cur = nil
+	c.curEvent = nil
+	if a.OnComplete != nil {
+		a.OnComplete()
+	}
+	c.settle()
+}
+
+// settle decides what the core does after a completion or dispatcher
+// callback returns: unmask interrupts (eret semantics — each completed
+// activity ends its exception frame), deliver anything held, then run the
+// switched-to activity, resume suspended work, or go idle.
+func (c *Core) settle() {
+	// eret: completing an activity re-enables interrupts, even when the
+	// completion callback context-switched to new work.
+	c.irqMasked = false
+	if c.pendingAssert && (c.cur == nil || !c.cur.Uninterruptible) {
+		c.pendingAssert = false
+		c.deliver()
+		if c.irqMasked {
+			return
+		}
+	}
+	if c.cur != nil {
+		return // callback already started something
+	}
+	if c.next != nil {
+		a := c.next
+		c.next = nil
+		c.start(a)
+		return
+	}
+	if len(c.stack) > 0 {
+		a := c.stack[len(c.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
+		now := c.node.Engine.Now()
+		stolen := now.Sub(a.preemptedAt)
+		if a.OnResume != nil {
+			a.OnResume(now, stolen)
+		}
+		c.start(a)
+		return
+	}
+	if c.onIdle != nil {
+		c.onIdle(c)
+	}
+}
+
+// AssertIRQ is the GIC's delivery signal. Delivery is immediate unless
+// interrupts are masked or the current activity is uninterruptible, in
+// which case it is held until the mask drops.
+func (c *Core) AssertIRQ() {
+	if c.irqMasked || (c.cur != nil && c.cur.Uninterruptible) {
+		c.pendingAssert = true
+		return
+	}
+	c.deliver()
+}
+
+func (c *Core) deliver() {
+	if c.dispatcher == nil {
+		c.pendingAssert = true
+		return
+	}
+	if c.cur != nil {
+		c.suspendCurrent()
+	}
+	c.irqMasked = true // hardware masks IRQs on exception entry
+	c.dispatcher(c)
+	c.settle()
+}
+
+func (c *Core) suspendCurrent() {
+	a := c.cur
+	now := c.node.Engine.Now()
+	elapsed := now.Sub(c.curStart)
+	c.node.Engine.Cancel(c.curEvent)
+	c.curEvent = nil
+	a.Remaining -= elapsed
+	if a.Remaining < 0 {
+		a.Remaining = 0
+	}
+	c.busy += elapsed
+	a.preemptedAt = now
+	c.preempts++
+	if a.OnPreempt != nil {
+		a.OnPreempt(now)
+	}
+	c.stack = append(c.stack, a)
+	c.cur = nil
+}
+
+// StealSuspended removes and returns the bottom-most suspended activity —
+// the workload that was running before the interrupt chain — so a
+// scheduler can migrate or park it. Returns nil if nothing is suspended.
+func (c *Core) StealSuspended() *Activity {
+	if len(c.stack) == 0 {
+		return nil
+	}
+	a := c.stack[0]
+	c.stack = c.stack[1:]
+	return a
+}
+
+// ResumeStolen runs a previously stolen activity on this core, firing its
+// OnResume with the stolen time. The core must be idle at that slot (same
+// rules as Run).
+func (c *Core) ResumeStolen(a *Activity) {
+	now := c.node.Engine.Now()
+	stolen := now.Sub(a.preemptedAt)
+	if a.OnResume != nil {
+		a.OnResume(now, stolen)
+	}
+	c.Run(a)
+}
+
+// StackLabels reports the labels of suspended activities, bottom first
+// (diagnostics).
+func (c *Core) StackLabels() []string {
+	var out []string
+	for _, a := range c.stack {
+		out = append(out, a.Label)
+	}
+	return out
+}
+
+// StealAllSuspended removes and returns the entire suspension stack,
+// bottom first — the full execution context of whatever was interrupted,
+// including nested handler frames. A hypervisor switching a guest off a
+// core must take all of it (a partial steal would leak guest frames into
+// the next context).
+func (c *Core) StealAllSuspended() []*Activity {
+	out := c.stack
+	c.stack = nil
+	return out
+}
+
+// RestoreStack reinstates frames captured by StealAllSuspended: the inner
+// frames return to the suspension stack and the top frame resumes now
+// (its OnResume fires immediately; inner frames fire theirs when
+// execution unwinds back to them).
+func (c *Core) RestoreStack(frames []*Activity) {
+	if len(frames) == 0 {
+		return
+	}
+	c.stack = append(c.stack, frames[:len(frames)-1]...)
+	c.ResumeStolen(frames[len(frames)-1])
+}
+
+// SetNext arranges for a to run when the current handler chain finishes,
+// instead of resuming suspended work. The scheduler must first
+// StealSuspended anything it wants preserved; switching away while work
+// is still suspended is a kernel bug and panics.
+func (c *Core) SetNext(a *Activity) {
+	if len(c.stack) > 0 {
+		panic(fmt.Sprintf("machine: core %d SetNext(%q) with %d suspended activities", c.id, a.Label, len(c.stack)))
+	}
+	if c.next != nil {
+		panic(fmt.Sprintf("machine: core %d SetNext(%q) over pending %q", c.id, a.Label, c.next.Label))
+	}
+	c.next = a
+}
+
+// CallHandler suspends the current activity (if any) and invokes fn as if
+// it were an interrupt dispatcher: fn may Exec handler work, and when the
+// handler chain completes the suspended work resumes. Software-initiated
+// preemption (virtual interrupt injection) uses this to reuse the
+// hardware delivery path.
+func (c *Core) CallHandler(fn func(c *Core)) {
+	if c.cur != nil {
+		c.suspendCurrent()
+	}
+	c.irqMasked = true
+	fn(c)
+	c.settle()
+}
+
+// IRQMasked reports the core's interrupt mask state.
+func (c *Core) IRQMasked() bool { return c.irqMasked }
+
+// SetIRQMasked changes the mask explicitly (PSTATE.I). Unmasking delivers
+// any held interrupt immediately.
+func (c *Core) SetIRQMasked(m bool) {
+	c.irqMasked = m
+	if !m && c.pendingAssert {
+		c.pendingAssert = false
+		c.deliver()
+	}
+}

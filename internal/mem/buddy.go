@@ -1,0 +1,223 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Buddy is a binary-buddy physical page allocator over one contiguous
+// region, in the style of Kitten's kmem buddy allocator. Allocations are
+// in whole pages rounded up to a power-of-two block; frees coalesce
+// eagerly with the block's buddy.
+type Buddy struct {
+	base     PA
+	pages    uint64 // total pages, power of two not required (tail handled by split)
+	maxOrder uint
+	free     []map[PA]struct{} // free[k] = set of free block bases of order k
+	alloc    map[PA]uint       // allocated block base -> order
+	freePgs  uint64
+}
+
+// NewBuddy builds an allocator over [base, base+size). base must be page
+// aligned and size a non-zero multiple of the page size.
+func NewBuddy(base PA, size uint64) (*Buddy, error) {
+	if !PageAligned(base) {
+		return nil, fmt.Errorf("mem: buddy base %#x not page aligned", uint64(base))
+	}
+	if size == 0 || size%PageSize != 0 {
+		return nil, fmt.Errorf("mem: buddy size %#x not a positive page multiple", size)
+	}
+	pages := size / PageSize
+	maxOrder := uint(0)
+	for (uint64(1) << (maxOrder + 1)) <= pages {
+		maxOrder++
+	}
+	b := &Buddy{
+		base:     base,
+		pages:    pages,
+		maxOrder: maxOrder,
+		free:     make([]map[PA]struct{}, maxOrder+1),
+		alloc:    make(map[PA]uint),
+	}
+	for i := range b.free {
+		b.free[i] = make(map[PA]struct{})
+	}
+	// Seed the free lists greedily with the largest aligned blocks, which
+	// handles non-power-of-two region sizes.
+	addr := base
+	remaining := pages
+	for remaining > 0 {
+		order := maxOrder
+		for order > 0 && ((uint64(1)<<order) > remaining || !b.alignedFor(addr, order)) {
+			order--
+		}
+		b.free[order][addr] = struct{}{}
+		addr += PA(uint64(PageSize) << order)
+		remaining -= uint64(1) << order
+	}
+	b.freePgs = pages
+	return b, nil
+}
+
+func (b *Buddy) alignedFor(a PA, order uint) bool {
+	return (uint64(a-b.base))%(uint64(PageSize)<<order) == 0
+}
+
+// Base reports the region base.
+func (b *Buddy) Base() PA { return b.base }
+
+// TotalPages reports the region size in pages.
+func (b *Buddy) TotalPages() uint64 { return b.pages }
+
+// FreePages reports the currently free page count.
+func (b *Buddy) FreePages() uint64 { return b.freePgs }
+
+// orderFor returns the smallest order whose block holds n pages.
+func orderFor(n uint64) uint {
+	order := uint(0)
+	for (uint64(1) << order) < n {
+		order++
+	}
+	return order
+}
+
+// AllocPages allocates n pages (rounded up to a power-of-two block) and
+// returns the block's base address.
+func (b *Buddy) AllocPages(n uint64) (PA, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("mem: zero-page allocation")
+	}
+	order := orderFor(n)
+	if order > b.maxOrder {
+		return 0, fmt.Errorf("mem: allocation of %d pages exceeds max order %d", n, b.maxOrder)
+	}
+	// Find the smallest non-empty order >= requested.
+	k := order
+	for k <= b.maxOrder && len(b.free[k]) == 0 {
+		k++
+	}
+	if k > b.maxOrder {
+		return 0, fmt.Errorf("mem: out of memory allocating %d pages (%d free)", n, b.freePgs)
+	}
+	// Take the lowest-addressed block at order k for determinism.
+	blk := b.lowest(k)
+	delete(b.free[k], blk)
+	// Split down to the requested order.
+	for k > order {
+		k--
+		buddy := blk + PA(uint64(PageSize)<<k)
+		b.free[k][buddy] = struct{}{}
+	}
+	b.alloc[blk] = order
+	b.freePgs -= uint64(1) << order
+	return blk, nil
+}
+
+// Alloc allocates size bytes rounded up to whole pages.
+func (b *Buddy) Alloc(size uint64) (PA, error) {
+	return b.AllocPages(PagesFor(size))
+}
+
+func (b *Buddy) lowest(order uint) PA {
+	first := true
+	var min PA
+	for a := range b.free[order] {
+		if first || a < min {
+			min = a
+			first = false
+		}
+	}
+	return min
+}
+
+// Free releases the block based at a, coalescing with free buddies.
+func (b *Buddy) Free(a PA) error {
+	order, ok := b.alloc[a]
+	if !ok {
+		return fmt.Errorf("mem: free of unallocated address %#x", uint64(a))
+	}
+	delete(b.alloc, a)
+	b.freePgs += uint64(1) << order
+	for order < b.maxOrder {
+		size := PA(uint64(PageSize) << order)
+		var buddy PA
+		if (uint64(a-b.base)/uint64(size))%2 == 0 {
+			buddy = a + size
+		} else {
+			buddy = a - size
+		}
+		if _, free := b.free[order][buddy]; !free {
+			break
+		}
+		delete(b.free[order], buddy)
+		if buddy < a {
+			a = buddy
+		}
+		order++
+	}
+	b.free[order][a] = struct{}{}
+	return nil
+}
+
+// Owns reports whether a is the base of a live allocation.
+func (b *Buddy) Owns(a PA) bool {
+	_, ok := b.alloc[a]
+	return ok
+}
+
+// AllocatedBlocks returns the live allocations as (base, pages) pairs
+// sorted by base. Intended for tests and debugging.
+func (b *Buddy) AllocatedBlocks() [][2]uint64 {
+	out := make([][2]uint64, 0, len(b.alloc))
+	for a, order := range b.alloc {
+		out = append(out, [2]uint64{uint64(a), 1 << order})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// CheckInvariants verifies internal consistency: free+allocated pages add
+// up, no block escapes the region, no overlap between any two blocks. It
+// is exercised by property tests and returns the first violation found.
+func (b *Buddy) CheckInvariants() error {
+	type span struct {
+		base  PA
+		pages uint64
+		free  bool
+	}
+	var spans []span
+	var freeCount uint64
+	for order, set := range b.free {
+		for a := range set {
+			spans = append(spans, span{a, 1 << uint(order), true})
+			freeCount += 1 << uint(order)
+		}
+	}
+	if freeCount != b.freePgs {
+		return fmt.Errorf("mem: free page accounting %d != %d", freeCount, b.freePgs)
+	}
+	var allocCount uint64
+	for a, order := range b.alloc {
+		spans = append(spans, span{a, 1 << order, false})
+		allocCount += 1 << order
+	}
+	if freeCount+allocCount != b.pages {
+		return fmt.Errorf("mem: pages %d free + %d alloc != total %d", freeCount, allocCount, b.pages)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].base < spans[j].base })
+	var prevEnd PA = b.base
+	for _, s := range spans {
+		if s.base < prevEnd {
+			return fmt.Errorf("mem: overlapping blocks at %#x", uint64(s.base))
+		}
+		end := s.base + PA(s.pages*PageSize)
+		if s.base < b.base || end > b.base+PA(b.pages*PageSize) {
+			return fmt.Errorf("mem: block [%#x,%#x) escapes region", uint64(s.base), uint64(end))
+		}
+		prevEnd = end
+	}
+	if prevEnd != b.base+PA(b.pages*PageSize) {
+		return fmt.Errorf("mem: coverage gap, last block ends at %#x", uint64(prevEnd))
+	}
+	return nil
+}

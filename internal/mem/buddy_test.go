@@ -1,0 +1,196 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestBuddy(t *testing.T, pages uint64) *Buddy {
+	t.Helper()
+	b, err := NewBuddy(0x4000_0000, pages*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBuddyConstruction(t *testing.T) {
+	b := newTestBuddy(t, 64)
+	if b.TotalPages() != 64 || b.FreePages() != 64 {
+		t.Fatalf("pages %d/%d", b.FreePages(), b.TotalPages())
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBuddy(0x123, PageSize); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+	if _, err := NewBuddy(0x1000, 100); err == nil {
+		t.Fatal("non page multiple accepted")
+	}
+	if _, err := NewBuddy(0x1000, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestBuddyNonPowerOfTwoRegion(t *testing.T) {
+	b := newTestBuddy(t, 7) // 4+2+1 split
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for {
+		if _, err := b.AllocPages(1); err != nil {
+			break
+		}
+		got++
+	}
+	if got != 7 {
+		t.Fatalf("allocated %d pages from 7-page region", got)
+	}
+}
+
+func TestBuddyAllocFreeRoundTrip(t *testing.T) {
+	b := newTestBuddy(t, 16)
+	a, err := b.AllocPages(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Owns(a) {
+		t.Fatal("Owns false for live allocation")
+	}
+	if b.FreePages() != 12 {
+		t.Fatalf("free = %d", b.FreePages())
+	}
+	if err := b.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreePages() != 16 {
+		t.Fatalf("free after Free = %d", b.FreePages())
+	}
+	if err := b.Free(a); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuddyRoundsUpToPowerOfTwo(t *testing.T) {
+	b := newTestBuddy(t, 16)
+	if _, err := b.AllocPages(3); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreePages() != 12 { // 3 rounds to 4
+		t.Fatalf("free = %d, want 12", b.FreePages())
+	}
+}
+
+func TestBuddyAllocBytes(t *testing.T) {
+	b := newTestBuddy(t, 16)
+	if _, err := b.Alloc(PageSize + 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreePages() != 14 {
+		t.Fatalf("free = %d, want 14", b.FreePages())
+	}
+	if _, err := b.Alloc(0); err == nil {
+		t.Fatal("zero byte alloc accepted")
+	}
+}
+
+func TestBuddyExhaustion(t *testing.T) {
+	b := newTestBuddy(t, 4)
+	if _, err := b.AllocPages(8); err == nil {
+		t.Fatal("oversized alloc accepted")
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := b.AllocPages(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.AllocPages(1); err == nil {
+		t.Fatal("alloc from empty pool accepted")
+	}
+}
+
+func TestBuddyCoalescing(t *testing.T) {
+	b := newTestBuddy(t, 8)
+	var addrs []PA
+	for i := 0; i < 8; i++ {
+		a, err := b.AllocPages(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs {
+		if err := b.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After freeing everything the allocator must coalesce back to a single
+	// order-3 block so an 8-page allocation succeeds.
+	if _, err := b.AllocPages(8); err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+}
+
+func TestBuddyDeterministicAddresses(t *testing.T) {
+	b1 := newTestBuddy(t, 32)
+	b2 := newTestBuddy(t, 32)
+	for i := 0; i < 10; i++ {
+		a1, _ := b1.AllocPages(2)
+		a2, _ := b2.AllocPages(2)
+		if a1 != a2 {
+			t.Fatalf("allocation %d diverged: %#x vs %#x", i, uint64(a1), uint64(a2))
+		}
+	}
+}
+
+func TestBuddyAllocatedBlocks(t *testing.T) {
+	b := newTestBuddy(t, 8)
+	b.AllocPages(2)
+	b.AllocPages(1)
+	blocks := b.AllocatedBlocks()
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	if blocks[0][0] >= blocks[1][0] {
+		t.Fatal("blocks not sorted")
+	}
+}
+
+// Property: random alloc/free sequences preserve all allocator invariants
+// and never hand out overlapping blocks.
+func TestQuickBuddyInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b, err := NewBuddy(0, 128*PageSize)
+		if err != nil {
+			return false
+		}
+		var live []PA
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				n := uint64(op%8) + 1
+				a, err := b.AllocPages(n)
+				if err == nil {
+					live = append(live, a)
+				}
+			} else {
+				i := int(op) % len(live)
+				if err := b.Free(live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if err := b.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package mem
+
+import "testing"
+
+func TestPageHelpers(t *testing.T) {
+	if PageAlign(0x1fff) != 0x1000 {
+		t.Fatalf("PageAlign = %#x", uint64(PageAlign(0x1fff)))
+	}
+	if !PageAligned(0x2000) || PageAligned(0x2001) {
+		t.Fatal("PageAligned wrong")
+	}
+	if PagesFor(1) != 1 || PagesFor(PageSize) != 1 || PagesFor(PageSize+1) != 2 {
+		t.Fatal("PagesFor wrong")
+	}
+}
+
+func TestRegionGeometry(t *testing.T) {
+	r := Region{Name: "dram", Base: 0x4000_0000, Size: 1 << 20}
+	if r.End() != 0x4010_0000 {
+		t.Fatalf("End = %#x", uint64(r.End()))
+	}
+	if !r.Contains(0x4000_0000, 1<<20) {
+		t.Fatal("Contains full span failed")
+	}
+	if r.Contains(0x4000_0000, 1<<20+1) {
+		t.Fatal("Contains accepted span past end")
+	}
+	if !r.Overlaps(Region{Base: 0x400f_ffff, Size: 2}) {
+		t.Fatal("Overlaps missed")
+	}
+	if r.Overlaps(Region{Base: 0x4010_0000, Size: 1}) {
+		t.Fatal("Overlaps false positive at boundary")
+	}
+}
+
+func TestMapAddRejectsOverlap(t *testing.T) {
+	m := NewMap()
+	if err := m.Add(Region{Name: "a", Base: 0x1000, Size: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(Region{Name: "b", Base: 0x1800, Size: 0x1000}); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	if err := m.Add(Region{Name: "c", Base: 0x2000, Size: 0}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if err := m.Add(Region{Name: "d", Base: 0x2000, Size: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFind(t *testing.T) {
+	m := NewMap()
+	regions := []Region{
+		{Name: "sram", Base: 0x0001_0000, Size: 0x1000},
+		{Name: "mmio", Base: 0x0100_0000, Size: 0x10000, Attr: Attr{Device: true}},
+		{Name: "dram", Base: 0x4000_0000, Size: 1 << 30},
+	}
+	for _, r := range regions {
+		if err := m.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r, ok := m.Find(0x4000_1234); !ok || r.Name != "dram" {
+		t.Fatalf("Find dram: %v %v", r, ok)
+	}
+	if r, ok := m.Find(0x0100_0000); !ok || !r.Attr.Device {
+		t.Fatalf("Find mmio: %v %v", r, ok)
+	}
+	if _, ok := m.Find(0x2000_0000); ok {
+		t.Fatal("Find hit a hole")
+	}
+	if r, ok := m.FindName("sram"); !ok || r.Base != 0x0001_0000 {
+		t.Fatal("FindName failed")
+	}
+	if _, ok := m.FindName("nope"); ok {
+		t.Fatal("FindName false positive")
+	}
+}
+
+func TestMapTotalBytes(t *testing.T) {
+	m := NewMap()
+	m.Add(Region{Name: "ns", Base: 0x0, Size: 0x1000})
+	m.Add(Region{Name: "s", Base: 0x1000, Size: 0x2000, Attr: Attr{Secure: true}})
+	if m.TotalBytes(nil) != 0x3000 {
+		t.Fatalf("total = %#x", m.TotalBytes(nil))
+	}
+	secure := m.TotalBytes(func(r Region) bool { return r.Attr.Secure })
+	if secure != 0x2000 {
+		t.Fatalf("secure total = %#x", secure)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	r := Region{Name: "gic", Base: 0x8000000, Size: 0x1000, Attr: Attr{Device: true, Secure: true}}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+}

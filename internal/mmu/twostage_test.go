@@ -1,0 +1,105 @@
+package mmu
+
+import "testing"
+
+func newRegime(t *testing.T) *TwoStage {
+	t.Helper()
+	s1 := NewTable("s1")
+	s2 := NewTable("s2")
+	// Guest maps VA 0x40_0000 → IPA 0x10_0000; hypervisor maps IPA
+	// 0x10_0000 → PA 0x8000_0000.
+	if err := s1.Map(0x40_0000, 0x10_0000, 4*GranuleSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Map(0x10_0000, 0x8000_0000, 4*GranuleSize, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	return &TwoStage{Stage1: s1, Stage2: s2}
+}
+
+func TestTwoStageTranslate(t *testing.T) {
+	ts := newRegime(t)
+	res := ts.Translate(0x40_0123, PermR)
+	if res.Fault != FaultNone {
+		t.Fatalf("fault = %v", res.Fault)
+	}
+	if res.PA != 0x8000_0123 {
+		t.Fatalf("PA = %#x", res.PA)
+	}
+	if res.Perms != PermRW { // RW ∧ RWX
+		t.Fatalf("perms = %v", res.Perms)
+	}
+}
+
+func TestTwoStageNestedWalkCost(t *testing.T) {
+	ts := newRegime(t)
+	res := ts.Translate(0x40_0000, PermR)
+	// 4 stage-1 levels × (1 fetch + 4 stage-2) + 4 final stage-2 = 24.
+	if res.Accesses != 24 {
+		t.Fatalf("nested walk = %d accesses, want 24", res.Accesses)
+	}
+	if NestedWalkAccesses(4, 4) != 24 {
+		t.Fatalf("NestedWalkAccesses(4,4) = %d", NestedWalkAccesses(4, 4))
+	}
+	if NestedWalkAccesses(4, 0) != 4 {
+		t.Fatalf("NestedWalkAccesses(4,0) = %d", NestedWalkAccesses(4, 0))
+	}
+}
+
+func TestTwoStageStage1Fault(t *testing.T) {
+	ts := newRegime(t)
+	res := ts.Translate(0xdead_0000, PermR)
+	if res.Fault != FaultStage1 {
+		t.Fatalf("fault = %v, want stage1", res.Fault)
+	}
+}
+
+func TestTwoStageStage2Fault(t *testing.T) {
+	ts := newRegime(t)
+	// Guest maps a VA to an IPA the hypervisor never granted: the
+	// isolation case. Must fault at stage 2, not reach any PA.
+	if err := ts.Stage1.Map(0x80_0000, 0x6660_0000, GranuleSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	res := ts.Translate(0x80_0000, PermR)
+	if res.Fault != FaultStage2 {
+		t.Fatalf("fault = %v, want stage2", res.Fault)
+	}
+	if res.PA != 0 {
+		t.Fatalf("leaked PA %#x through stage-2 fault", res.PA)
+	}
+}
+
+func TestTwoStagePermissionFault(t *testing.T) {
+	ts := newRegime(t)
+	// Hypervisor downgrades the grant to read-only; a guest write must
+	// trap to the hypervisor (FaultPermission), even though stage-1 says RW.
+	if err := ts.Stage2.Protect(0x10_0000, 4*GranuleSize, PermR); err != nil {
+		t.Fatal(err)
+	}
+	res := ts.Translate(0x40_0000, PermW)
+	if res.Fault != FaultPermission {
+		t.Fatalf("fault = %v, want s2-permission", res.Fault)
+	}
+	// Reads still work.
+	if res := ts.Translate(0x40_0000, PermR); res.Fault != FaultNone {
+		t.Fatalf("read fault = %v", res.Fault)
+	}
+}
+
+func TestTwoStageGuestPermissionFault(t *testing.T) {
+	ts := newRegime(t)
+	// Stage-1 is RW; execute is a guest-level (stage-1) fault.
+	res := ts.Translate(0x40_0000, PermX)
+	if res.Fault != FaultStage1 {
+		t.Fatalf("fault = %v, want stage1", res.Fault)
+	}
+}
+
+func TestFaultStageString(t *testing.T) {
+	for _, f := range []FaultStage{FaultNone, FaultStage1, FaultStage2, FaultPermission, FaultStage(99)} {
+		if f.String() == "" {
+			t.Fatal("empty FaultStage string")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package noise
+
+import (
+	"khsim/internal/machine"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+	"khsim/internal/stats"
+)
+
+// FTQ is the fixed-time-quantum benchmark: it counts how much work
+// completes in each fixed wall-clock window. On a quiet system every
+// window completes the same amount; noise shows up as windows with
+// missing work. It complements selfish-detour by measuring throughput
+// variability rather than individual events.
+type FTQ struct {
+	Config  string
+	Window  sim.Duration // measurement window
+	Windows int          // number of windows
+
+	// WorkDone[i] is the fraction of window i spent doing work.
+	WorkDone []float64
+	Finished bool
+}
+
+// NewFTQ builds an FTQ run with paper-typical geometry (10ms windows).
+func NewFTQ(config string, windows int) *FTQ {
+	return &FTQ{Config: config, Window: sim.FromMicros(10000), Windows: windows}
+}
+
+// Name implements osapi.Process.
+func (f *FTQ) Name() string { return "ftq" }
+
+// Main implements osapi.Process.
+func (f *FTQ) Main(x osapi.Executor) {
+	f.WorkDone = make([]float64, 0, f.Windows)
+	var runWindow func(i int)
+	runWindow = func(i int) {
+		if i >= f.Windows {
+			f.Finished = true
+			x.Done()
+			return
+		}
+		start := x.Now()
+		var stolen sim.Duration
+		x.Run(&machine.Activity{
+			Label:     "ftq.window",
+			Remaining: f.Window,
+			OnResume: func(at sim.Time, st sim.Duration) {
+				stolen += st
+			},
+			OnComplete: func() {
+				elapsed := x.Now().Sub(start)
+				if elapsed <= 0 {
+					elapsed = f.Window
+				}
+				f.WorkDone = append(f.WorkDone, float64(f.Window)/float64(elapsed))
+				_ = stolen
+				runWindow(i + 1)
+			},
+		})
+	}
+	runWindow(0)
+}
+
+// Sample returns the per-window work fractions as a stats sample.
+func (f *FTQ) Sample() *stats.Sample {
+	var s stats.Sample
+	s.AddAll(f.WorkDone)
+	return &s
+}
+
+// CoV reports the coefficient of variation across windows — the standard
+// FTQ noise metric (lower is quieter).
+func (f *FTQ) CoV() float64 { return f.Sample().CoV() }

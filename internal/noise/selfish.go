@@ -1,0 +1,164 @@
+// Package noise implements the OS-noise instrumentation the paper's
+// evaluation leads with: the selfish-detour benchmark (Figs 4–6) and a
+// fixed-time-quantum (FTQ) variant. Selfish-detour spins reading the
+// cycle counter and records a "detour" whenever consecutive readings jump
+// by more than a threshold — in the simulator, whenever the spin activity
+// is preempted and later resumed, the stolen wall time is the detour.
+package noise
+
+import (
+	"fmt"
+	"io"
+
+	"khsim/internal/machine"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+	"khsim/internal/stats"
+)
+
+// Detour is one interruption of the spin loop.
+type Detour struct {
+	At       sim.Time     // when the spin was preempted
+	Duration sim.Duration // wall time stolen before it resumed
+}
+
+// SelfishResult is the outcome of one selfish-detour run.
+type SelfishResult struct {
+	Config   string
+	RunTime  sim.Duration // requested spin time (work actually executed)
+	Elapsed  sim.Duration // wall time from start to finish
+	Detours  []Detour
+	Finished bool
+}
+
+// Count reports the number of detours above the threshold.
+func (r *SelfishResult) Count() int { return len(r.Detours) }
+
+// StolenTotal reports total wall time lost to detours.
+func (r *SelfishResult) StolenTotal() sim.Duration {
+	var t sim.Duration
+	for _, d := range r.Detours {
+		t += d.Duration
+	}
+	return t
+}
+
+// StolenFraction reports stolen time / elapsed time.
+func (r *SelfishResult) StolenFraction() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.StolenTotal()) / float64(r.Elapsed)
+}
+
+// RatePerSecond reports detours per second of elapsed time.
+func (r *SelfishResult) RatePerSecond() float64 {
+	s := r.Elapsed.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(len(r.Detours)) / s
+}
+
+// DurationsMicros returns the detour durations in microseconds.
+func (r *SelfishResult) DurationsMicros() *stats.Sample {
+	var s stats.Sample
+	for _, d := range r.Detours {
+		s.Add(d.Duration.Micros())
+	}
+	return &s
+}
+
+// Summary formats the headline numbers of a run.
+func (r *SelfishResult) Summary() string {
+	ds := r.DurationsMicros()
+	mean, max := 0.0, 0.0
+	if ds.N() > 0 {
+		mean, max = ds.Mean(), ds.Max()
+	}
+	return fmt.Sprintf("%-22s detours=%5d rate=%7.2f/s mean=%7.2fus max=%8.2fus stolen=%.4f%%",
+		r.Config, r.Count(), r.RatePerSecond(), mean, max, 100*r.StolenFraction())
+}
+
+// WriteTSV emits the (time, duration) scatter the paper plots: one row
+// per detour, time in seconds, duration in microseconds.
+func (r *SelfishResult) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s\tdetour_us"); err != nil {
+		return err
+	}
+	for _, d := range r.Detours {
+		if _, err := fmt.Fprintf(w, "%.9f\t%.3f\n", d.At.Seconds(), d.Duration.Micros()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Selfish is the benchmark process. It spins for RunTime of pure work,
+// recording every preemption longer than Threshold.
+type Selfish struct {
+	Config    string
+	RunTime   sim.Duration
+	Threshold sim.Duration // detours shorter than this are folded into the loop
+	ChunkTime sim.Duration // spin-chunk granularity (0 = one chunk)
+
+	Result SelfishResult
+
+	preemptAt sim.Time
+	started   bool
+	startAt   sim.Time
+}
+
+// NewSelfish returns a selfish-detour benchmark with the paper-style
+// threshold: the spin loop notices anything above ~1µs.
+func NewSelfish(config string, runTime sim.Duration) *Selfish {
+	return &Selfish{
+		Config:    config,
+		RunTime:   runTime,
+		Threshold: sim.FromNanos(900),
+	}
+}
+
+// Name implements osapi.Process.
+func (s *Selfish) Name() string { return "selfish-detour" }
+
+// Main implements osapi.Process.
+func (s *Selfish) Main(x osapi.Executor) {
+	s.startAt = x.Now()
+	s.Result = SelfishResult{Config: s.Config, RunTime: s.RunTime}
+	chunk := s.ChunkTime
+	if chunk <= 0 {
+		chunk = s.RunTime
+	}
+	remaining := s.RunTime
+	var runChunk func()
+	runChunk = func() {
+		d := chunk
+		if d > remaining {
+			d = remaining
+		}
+		if d <= 0 {
+			s.Result.Finished = true
+			s.Result.Elapsed = x.Now().Sub(s.startAt)
+			x.Done()
+			return
+		}
+		remaining -= d
+		x.Run(&machine.Activity{
+			Label:      "selfish.spin",
+			Remaining:  d,
+			OnComplete: runChunk,
+			OnPreempt:  func(at sim.Time) { s.preemptAt = at },
+			OnResume: func(at sim.Time, stolen sim.Duration) {
+				if stolen >= s.Threshold {
+					// Detour timestamps are relative to benchmark start.
+					s.Result.Detours = append(s.Result.Detours, Detour{
+						At:       s.preemptAt - s.startAt,
+						Duration: stolen,
+					})
+				}
+			},
+		})
+	}
+	runChunk()
+}

@@ -1,0 +1,181 @@
+package noise
+
+import (
+	"strings"
+	"testing"
+
+	"khsim/internal/gic"
+	"khsim/internal/machine"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+	"khsim/internal/timer"
+)
+
+// bareExec runs a process directly on core 0 of a raw node with a
+// periodic tick of the given cost — the minimal kernel-free environment
+// for testing the instrumentation itself.
+type bareExec struct {
+	node *machine.Node
+	done bool
+}
+
+func (e *bareExec) Exec(label string, d sim.Duration, fn func()) {
+	e.node.Cores[0].Exec(label, d, fn)
+}
+func (e *bareExec) Run(a *machine.Activity) { e.node.Cores[0].Run(a) }
+func (e *bareExec) Now() sim.Time           { return e.node.Now() }
+func (e *bareExec) Done()                   { e.done = true }
+
+func newNoisyNode(t *testing.T, tickPeriod, handlerCost sim.Duration) *machine.Node {
+	t.Helper()
+	node := machine.MustNew(machine.PineA64Config(3))
+	node.GIC.Enable(gic.IRQPhysTimer)
+	c := node.Cores[0]
+	c.SetDispatcher(func(c *machine.Core) {
+		irq := node.GIC.Acknowledge(c.ID())
+		if irq == gic.SpuriousIRQ {
+			return
+		}
+		node.GIC.EOI(c.ID(), irq)
+		c.Exec("tick", handlerCost, func() {
+			node.Timers.Core(0).ArmAfter(timer.Phys, tickPeriod)
+		})
+	})
+	node.Timers.Core(0).ArmAfter(timer.Phys, tickPeriod)
+	return node
+}
+
+func TestSelfishRecordsEveryTick(t *testing.T) {
+	period := sim.FromMicros(1000)
+	cost := sim.FromMicros(5)
+	node := newNoisyNode(t, period, cost)
+	s := NewSelfish("test", sim.FromMicros(10_500))
+	x := &bareExec{node: node}
+	s.Main(x)
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.1)))
+	if !s.Result.Finished || !x.done {
+		t.Fatal("selfish did not finish")
+	}
+	// 10.5ms of work with a 1ms tick stealing 5us each: ~10 detours.
+	if n := s.Result.Count(); n < 9 || n > 12 {
+		t.Fatalf("detours = %d, want ~10", n)
+	}
+	for i, d := range s.Result.Detours {
+		if d.Duration != cost {
+			t.Fatalf("detour %d duration = %v, want %v", i, d.Duration, cost)
+		}
+		if d.At < 0 || d.At > sim.Time(s.Result.Elapsed) {
+			t.Fatalf("detour %d at %v outside run", i, d.At)
+		}
+	}
+	if s.Result.StolenTotal() != sim.Duration(s.Result.Count())*cost {
+		t.Fatal("stolen total wrong")
+	}
+	if s.Result.Elapsed < s.RunTime {
+		t.Fatal("elapsed below pure work time")
+	}
+	if s.Result.RatePerSecond() <= 0 || s.Result.StolenFraction() <= 0 {
+		t.Fatal("rates not positive")
+	}
+}
+
+func TestSelfishThresholdFilters(t *testing.T) {
+	period := sim.FromMicros(1000)
+	node := newNoisyNode(t, period, sim.FromNanos(400)) // below default threshold
+	s := NewSelfish("test", sim.FromMicros(5000))
+	s.Main(&bareExec{node: node})
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.1)))
+	if !s.Result.Finished {
+		t.Fatal("not finished")
+	}
+	if s.Result.Count() != 0 {
+		t.Fatalf("sub-threshold detours recorded: %d", s.Result.Count())
+	}
+}
+
+func TestSelfishChunked(t *testing.T) {
+	node := newNoisyNode(t, sim.FromMicros(1000), sim.FromMicros(2))
+	s := NewSelfish("test", sim.FromMicros(4000))
+	s.ChunkTime = sim.FromMicros(500)
+	s.Main(&bareExec{node: node})
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.1)))
+	if !s.Result.Finished {
+		t.Fatal("not finished")
+	}
+	if n := s.Result.Count(); n < 3 || n > 6 {
+		t.Fatalf("detours = %d, want ~4", n)
+	}
+}
+
+func TestSelfishSummaryAndTSV(t *testing.T) {
+	node := newNoisyNode(t, sim.FromMicros(500), sim.FromMicros(3))
+	s := NewSelfish("cfgname", sim.FromMicros(2000))
+	s.Main(&bareExec{node: node})
+	node.Engine.Run(sim.Time(sim.FromSeconds(0.1)))
+	sum := s.Result.Summary()
+	if !strings.Contains(sum, "cfgname") || !strings.Contains(sum, "detours") {
+		t.Fatalf("summary: %q", sum)
+	}
+	var sb strings.Builder
+	if err := s.Result.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+s.Result.Count() {
+		t.Fatalf("TSV rows = %d, want %d", len(lines)-1, s.Result.Count())
+	}
+	// Empty result summary must not divide by zero.
+	empty := &SelfishResult{Config: "x"}
+	if empty.Summary() == "" || empty.RatePerSecond() != 0 || empty.StolenFraction() != 0 {
+		t.Fatal("empty result misbehaved")
+	}
+}
+
+func TestFTQWindows(t *testing.T) {
+	node := newNoisyNode(t, sim.FromMicros(2000), sim.FromMicros(40))
+	f := NewFTQ("test", 20)
+	x := &bareExec{node: node}
+	f.Main(x)
+	node.Engine.Run(sim.Time(sim.FromSeconds(2)))
+	if !f.Finished || !x.done {
+		t.Fatal("FTQ did not finish")
+	}
+	if len(f.WorkDone) != 20 {
+		t.Fatalf("windows = %d", len(f.WorkDone))
+	}
+	for i, w := range f.WorkDone {
+		if w <= 0 || w > 1 {
+			t.Fatalf("window %d work fraction %v", i, w)
+		}
+	}
+	// 40us stolen per 2ms ≈ 2% loss: mean well below 1, CoV small but
+	// nonzero (tick phase varies per window).
+	m := f.Sample().Mean()
+	if m > 0.999 || m < 0.9 {
+		t.Fatalf("mean work fraction = %v", m)
+	}
+	if f.CoV() < 0 {
+		t.Fatal("negative CoV")
+	}
+}
+
+func TestOsapiLoop(t *testing.T) {
+	var got []int
+	osapi.Loop(3, func(i int, next func()) {
+		got = append(got, i)
+		next()
+	}, func() { got = append(got, -1) })
+	if len(got) != 4 || got[0] != 0 || got[2] != 2 || got[3] != -1 {
+		t.Fatalf("loop order %v", got)
+	}
+	// Zero iterations goes straight to done.
+	done := false
+	osapi.Loop(0, func(i int, next func()) { t.Fatal("body ran") }, func() { done = true })
+	if !done {
+		t.Fatal("done not called")
+	}
+	f := osapi.Func{Label: "x", Body: func(x osapi.Executor) {}}
+	if f.Name() != "x" {
+		t.Fatal("Func name")
+	}
+}

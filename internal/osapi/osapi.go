@@ -1,0 +1,65 @@
+// Package osapi defines the thin contract between kernels and the
+// programs they run. A Process is handed an Executor by whatever kernel
+// schedules it — native Kitten, Kitten-as-primary, a guest kernel inside
+// a Hafnium VM — and drives itself by chaining work through it. Workloads
+// are therefore written once and run identically across the paper's three
+// configurations; only the noise arriving from the surrounding system
+// differs.
+package osapi
+
+import (
+	"khsim/internal/machine"
+	"khsim/internal/sim"
+)
+
+// Executor is the CPU a process currently runs on, as abstracted by its
+// kernel. All methods must be called from the process's own execution
+// context (inside a completion callback of work it scheduled).
+type Executor interface {
+	// Exec runs d of work, then fn.
+	Exec(label string, d sim.Duration, fn func())
+	// Run schedules a prepared activity, letting the process attach
+	// preempt/resume instrumentation (the selfish-detour benchmark's
+	// measurement hooks).
+	Run(a *machine.Activity)
+	// Now reports simulated time.
+	Now() sim.Time
+	// Done tells the kernel the process has finished.
+	Done()
+}
+
+// Process is a schedulable program.
+type Process interface {
+	// Name labels the process in traces and runqueues.
+	Name() string
+	// Main is called once, when the kernel first schedules the process.
+	// The process must schedule work via x and eventually call x.Done().
+	Main(x Executor)
+}
+
+// Func adapts a function to the Process interface.
+type Func struct {
+	Label string
+	Body  func(x Executor)
+}
+
+// Name implements Process.
+func (f Func) Name() string { return f.Label }
+
+// Main implements Process.
+func (f Func) Main(x Executor) { f.Body(x) }
+
+// Loop runs body n times sequentially, then calls done. Each iteration
+// receives its index and a continuation it must invoke when finished —
+// the standard shape for phase-structured workloads on an Executor.
+func Loop(n int, body func(i int, next func()), done func()) {
+	var step func(i int)
+	step = func(i int) {
+		if i >= n {
+			done()
+			return
+		}
+		body(i, func() { step(i + 1) })
+	}
+	step(0)
+}

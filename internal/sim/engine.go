@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created by Engine.Schedule and
+// friends; holding the returned pointer allows exact cancellation.
+type Event struct {
+	when     Time
+	seq      uint64 // tie-break: FIFO among events at the same instant
+	fn       func()
+	index    int // heap index, -1 once popped or cancelled
+	canceled bool
+	name     string
+}
+
+// When reports the time the event is (or was) scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether the event was cancelled before firing.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Name reports the optional debug label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all simulated components run inside event callbacks on
+// the goroutine that calls Run or Step.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *RNG
+	stopped bool
+
+	// Fired counts events executed; useful as a progress/complexity metric.
+	fired uint64
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic
+// PRNG seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at the absolute time at. Scheduling in the
+// past (before Now) is a logic error and panics. The returned Event can be
+// passed to Cancel.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	return e.ScheduleNamed(at, "", fn)
+}
+
+// ScheduleNamed is Schedule with a debug label attached to the event.
+func (e *Engine) ScheduleNamed(at Time, name string, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event %q at %v before now %v", name, at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{when: at, seq: e.seq, fn: fn, name: name}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to run d from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// AfterNamed is After with a debug label.
+func (e *Engine) AfterNamed(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.ScheduleNamed(e.now.Add(d), name, fn)
+}
+
+// Cancel removes ev from the queue. Cancelling an already-fired or
+// already-cancelled event is a harmless no-op, which simplifies callers
+// that race a completion event against a preemption.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// reports false when the queue is empty or Stop was called.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.when < e.now {
+		panic("sim: event queue time went backwards")
+	}
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty, Stop is called, or the next
+// event lies strictly after until; the clock is then advanced to until if
+// it has not passed it. It returns the number of events fired.
+func (e *Engine) Run(until Time) uint64 {
+	start := e.fired
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].when <= until {
+		e.Step()
+	}
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+	return e.fired - start
+}
+
+// RunAll fires events until the queue drains or Stop is called.
+func (e *Engine) RunAll() uint64 {
+	start := e.fired
+	for e.Step() {
+	}
+	return e.fired - start
+}
+
+// Stop halts Run/RunAll/Step after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

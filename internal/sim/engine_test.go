@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleFiresInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock ended at %v, want 30", e.Now())
+	}
+}
+
+func TestSameInstantEventsFireFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Cancel(ev)
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked cancelled")
+	}
+	// Double-cancel and cancel-after-fire must be no-ops.
+	e.Cancel(ev)
+	ev2 := e.Schedule(e.Now().Add(1), func() {})
+	e.RunAll()
+	e.Cancel(ev2)
+}
+
+func TestCancelOneOfManyAtSameInstant(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, e.Schedule(7, func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[2])
+	e.RunAll()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilStopsAtBoundaryAndAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	n := e.Run(12)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("fired %d events by t=12, want 2", len(fired))
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock %v, want 12", e.Now())
+	}
+	e.Run(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock %v, want 100 after idle advance", e.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Schedule(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 150 {
+		t.Fatalf("After fired at %v, want 150", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.RunAll()
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.Schedule(i, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("fired %d events after Stop, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("engine not stopped")
+	}
+}
+
+func TestEventsScheduledDuringRunFire(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var schedule func()
+	schedule = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, schedule)
+		}
+	}
+	e.After(1, schedule)
+	e.RunAll()
+	if depth != 100 {
+		t.Fatalf("chained depth %d, want 100", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock %v, want 100", e.Now())
+	}
+}
+
+// Property: for any set of (time, payload) pairs, firing order is the
+// stable sort by time.
+func TestQuickFiringOrderIsStableSortByTime(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine(42)
+		type pair struct {
+			at  Time
+			seq int
+		}
+		var want []pair
+		var got []pair
+		for i, tt := range times {
+			at := Time(tt)
+			want = append(want, pair{at, i})
+			i := i
+			e.Schedule(at, func() { got = append(got, pair{at, i}) })
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		e.RunAll()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset removes exactly that subset.
+func TestQuickCancelIsExact(t *testing.T) {
+	f := func(times []uint8, cancelMask []bool) bool {
+		e := NewEngine(7)
+		fired := map[int]bool{}
+		var evs []*Event
+		for i, tt := range times {
+			i := i
+			evs = append(evs, e.Schedule(Time(tt), func() { fired[i] = true }))
+		}
+		cancelled := map[int]bool{}
+		for i, ev := range evs {
+			if i < len(cancelMask) && cancelMask[i] {
+				e.Cancel(ev)
+				cancelled[i] = true
+			}
+		}
+		e.RunAll()
+		for i := range evs {
+			if cancelled[i] == fired[i] {
+				return false // cancelled must not fire; uncancelled must fire
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded via splitmix64). The simulator cannot use math/rand
+// global state because reproducibility across packages and runs is part of
+// the artifact contract; every stochastic component draws from an RNG that
+// is derived, via Split, from the engine seed.
+type RNG struct {
+	s [4]uint64
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start at the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent generator from r's current state and a
+// label, so that components seeded in different orders still get stable
+// streams as long as their labels are stable.
+func (r *RNG) Split(label uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (label * 0xd1342543de82ef95))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpDuration returns an exponentially distributed Duration with the given
+// mean, truncated below at 1 ps so it can always be scheduled.
+func (r *RNG) ExpDuration(mean Duration) Duration {
+	d := Duration(r.ExpFloat64() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// UniformDuration returns a uniform Duration in [lo, hi].
+func (r *RNG) UniformDuration(lo, hi Duration) Duration {
+	if hi < lo {
+		panic("sim: UniformDuration with hi < lo")
+	}
+	return lo + Duration(r.Uint64()%uint64(hi-lo+1))
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac].
+func (r *RNG) Jitter(d Duration, frac float64) Duration {
+	f := 1 + frac*(2*r.Float64()-1)
+	j := Duration(f * float64(d))
+	if j < 1 {
+		j = 1
+	}
+	return j
+}

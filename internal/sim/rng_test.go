@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(1234)
+	b := NewRNG(1234)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seed RNG produced only %d distinct values", len(seen))
+	}
+}
+
+func TestSplitStreamsIndependent(t *testing.T) {
+	r := NewRNG(9)
+	a := r.Split(1)
+	b := r.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams overlapped %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRangeAndCoverage(t *testing.T) {
+	r := NewRNG(6)
+	seen := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c < 500 {
+			t.Fatalf("value %d drawn only %d/10000 times", v, c)
+		}
+	}
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(7)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(8)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestExpDurationPositiveAndMean(t *testing.T) {
+	r := NewRNG(10)
+	mean := FromMicros(100)
+	const n = 100000
+	var sum Duration
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(mean)
+		if d < 1 {
+			t.Fatalf("ExpDuration returned %v < 1ps", d)
+		}
+		sum += d
+	}
+	got := float64(sum) / n / float64(mean)
+	if math.Abs(got-1) > 0.03 {
+		t.Fatalf("ExpDuration mean ratio %v, want ~1", got)
+	}
+}
+
+func TestUniformDurationBounds(t *testing.T) {
+	r := NewRNG(11)
+	lo, hi := FromNanos(10), FromNanos(20)
+	for i := 0; i < 10000; i++ {
+		d := r.UniformDuration(lo, hi)
+		if d < lo || d > hi {
+			t.Fatalf("UniformDuration %v outside [%v,%v]", d, lo, hi)
+		}
+	}
+	if d := r.UniformDuration(lo, lo); d != lo {
+		t.Fatalf("degenerate UniformDuration %v, want %v", d, lo)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(12)
+	base := FromMicros(10)
+	for i := 0; i < 10000; i++ {
+		d := r.Jitter(base, 0.25)
+		if d < Duration(0.74*float64(base)) || d > Duration(1.26*float64(base)) {
+			t.Fatalf("Jitter %v outside 25%% band of %v", d, base)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Record is a single trace entry: something happened at a time on a core
+// (or core -1 for node-global events).
+type Record struct {
+	At    Time
+	Core  int
+	Kind  string
+	Value float64
+	Note  string
+}
+
+// Trace accumulates Records. It is intended for post-run analysis (the
+// selfish-detour figures are plotted straight from a Trace) and is cheap
+// enough to leave enabled: appends are amortized O(1).
+type Trace struct {
+	records []Record
+	enabled bool
+}
+
+// NewTrace returns an enabled, empty trace.
+func NewTrace() *Trace { return &Trace{enabled: true} }
+
+// SetEnabled toggles recording; Add on a disabled trace is a no-op.
+func (t *Trace) SetEnabled(on bool) { t.enabled = on }
+
+// Add appends a record.
+func (t *Trace) Add(rec Record) {
+	if t == nil || !t.enabled {
+		return
+	}
+	t.records = append(t.records, rec)
+}
+
+// Len reports the number of records.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.records)
+}
+
+// Records returns the underlying slice; callers must not mutate it.
+func (t *Trace) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	return t.records
+}
+
+// Filter returns the records whose Kind equals kind, in time order.
+func (t *Trace) Filter(kind string) []Record {
+	if t == nil {
+		return nil
+	}
+	var out []Record
+	for _, r := range t.records {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Reset discards all records.
+func (t *Trace) Reset() { t.records = t.records[:0] }
+
+// WriteTSV writes the records as tab-separated values with a header,
+// suitable for plotting the paper's scatter figures.
+func (t *Trace) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s\tcore\tkind\tvalue\tnote"); err != nil {
+		return err
+	}
+	for _, r := range t.records {
+		if _, err := fmt.Fprintf(w, "%.9f\t%d\t%s\t%g\t%s\n",
+			r.At.Seconds(), r.Core, r.Kind, r.Value, r.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceAddFilter(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Record{At: 20, Core: 0, Kind: "detour", Value: 5})
+	tr.Add(Record{At: 10, Core: 1, Kind: "tick"})
+	tr.Add(Record{At: 30, Core: 0, Kind: "detour", Value: 7})
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	detours := tr.Filter("detour")
+	if len(detours) != 2 || detours[0].At != 20 || detours[1].At != 30 {
+		t.Fatalf("Filter returned %v", detours)
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	tr := NewTrace()
+	tr.SetEnabled(false)
+	tr.Add(Record{At: 1, Kind: "x"})
+	if tr.Len() != 0 {
+		t.Fatal("disabled trace recorded")
+	}
+	var nilTrace *Trace
+	nilTrace.Add(Record{}) // must not panic
+	if nilTrace.Len() != 0 || nilTrace.Records() != nil || nilTrace.Filter("x") != nil {
+		t.Fatal("nil trace misbehaved")
+	}
+}
+
+func TestTraceReset(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Record{At: 1, Kind: "x"})
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestTraceWriteTSV(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Record{At: Time(Second), Core: 2, Kind: "detour", Value: 12.5, Note: "tick"})
+	var sb strings.Builder
+	if err := tr.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "time_s\tcore\tkind") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "1.000000000\t2\tdetour\t12.5\ttick") {
+		t.Fatalf("missing row: %q", out)
+	}
+}

@@ -1,0 +1,229 @@
+// Package stats provides the small set of summary statistics used by the
+// evaluation harness: mean/stdev (the paper's Fig 8 and Fig 10 report
+// exactly these), percentiles for noise analysis, and fixed-width
+// histograms for detour distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations and produces summary statistics.
+// The zero value is an empty sample ready for use.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddAll appends every observation in vs.
+func (s *Sample) AddAll(vs []float64) {
+	s.values = append(s.values, vs...)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Values returns a copy of the observations.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// Mean reports the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Stdev reports the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two observations.
+func (s *Sample) Stdev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min reports the smallest observation, or +Inf for an empty sample.
+func (s *Sample) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.values {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max reports the largest observation, or -Inf for an empty sample.
+func (s *Sample) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Sum reports the total of all observations.
+func (s *Sample) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) by linear
+// interpolation between closest ranks. It panics on an empty sample or an
+// out-of-range p.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	s.ensureSorted()
+	if len(s.values) == 1 {
+		return s.values[0]
+	}
+	rank := p / 100 * float64(len(s.values)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Median reports the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// CoV reports the coefficient of variation (stdev/mean), or 0 when the
+// mean is zero.
+func (s *Sample) CoV() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.Stdev() / m
+}
+
+// Summary is a value snapshot of a Sample's headline statistics.
+type Summary struct {
+	N           int
+	Mean, Stdev float64
+	Min, Max    float64
+}
+
+// Summarize captures the headline statistics of s.
+func (s *Sample) Summarize() Summary {
+	return Summary{N: s.N(), Mean: s.Mean(), Stdev: s.Stdev(), Min: s.Min(), Max: s.Max()}
+}
+
+// String formats the summary as "mean ± stdev (n=N)".
+func (sm Summary) String() string {
+	return fmt.Sprintf("%.6g ± %.3g (n=%d)", sm.Mean, sm.Stdev, sm.N)
+}
+
+// Histogram is a fixed-width-bucket histogram over [Lo, Hi); observations
+// outside the range land in the under/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	Buckets   []uint64
+	Underflow uint64
+	Overflow  uint64
+	width     float64
+}
+
+// NewHistogram returns a histogram with n equal buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n), width: (hi - lo) / float64(n)}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v float64) {
+	switch {
+	case v < h.Lo:
+		h.Underflow++
+	case v >= h.Hi:
+		h.Overflow++
+	default:
+		i := int((v - h.Lo) / h.width)
+		if i >= len(h.Buckets) { // guard float edge at Hi-epsilon
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total reports the number of observations including under/overflow.
+func (h *Histogram) Total() uint64 {
+	t := h.Underflow + h.Overflow
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// BucketCenter reports the midpoint value of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.width
+}
+
+// Normalize divides values by a baseline, producing the paper's
+// "normalized performance" series (baseline = 1.0). A zero baseline yields
+// zeros rather than Inf so tables stay printable.
+func Normalize(values []float64, baseline float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		if baseline != 0 {
+			out[i] = v / baseline
+		}
+	}
+	return out
+}
+
+// WithinStdev reports whether a and b are statistically indistinguishable
+// under the paper's informal criterion: the means lie within one pooled
+// standard deviation of each other.
+func WithinStdev(a, b Summary) bool {
+	pooled := math.Max(a.Stdev, b.Stdev)
+	return math.Abs(a.Mean-b.Mean) <= pooled
+}

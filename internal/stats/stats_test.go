@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdevKnownValues(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Sample stdev with n-1: variance = 32/7.
+	if !approx(s.Stdev(), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stdev = %v", s.Stdev())
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Stdev() != 0 || s.N() != 0 {
+		t.Fatal("empty sample stats wrong")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty min/max wrong")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Stdev() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("singleton stats wrong")
+	}
+	if s.Percentile(50) != 3 {
+		t.Fatal("singleton percentile wrong")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if !approx(s.Median(), 50.5, 1e-9) {
+		t.Fatalf("median = %v", s.Median())
+	}
+	if !approx(s.Percentile(0), 1, 1e-9) || !approx(s.Percentile(100), 100, 1e-9) {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if p := s.Percentile(25); !approx(p, 25.75, 1e-9) {
+		t.Fatalf("p25 = %v", p)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	var s Sample
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty percentile did not panic")
+			}
+		}()
+		s.Percentile(50)
+	}()
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range percentile did not panic")
+		}
+	}()
+	s.Percentile(101)
+}
+
+func TestPercentileThenAddStillCorrect(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{3, 1})
+	_ = s.Median() // forces sort
+	s.Add(2)
+	if !approx(s.Median(), 2, 1e-12) {
+		t.Fatalf("median after post-sort Add = %v", s.Median())
+	}
+}
+
+func TestSummaryAndString(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{1, 2, 3})
+	sm := s.Summarize()
+	if sm.N != 3 || !approx(sm.Mean, 2, 1e-12) || sm.Min != 1 || sm.Max != 3 {
+		t.Fatalf("summary = %+v", sm)
+	}
+	if sm.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("normalize = %v", out)
+		}
+	}
+	zero := Normalize([]float64{1}, 0)
+	if zero[0] != 0 {
+		t.Fatal("zero baseline should yield zeros")
+	}
+}
+
+func TestWithinStdev(t *testing.T) {
+	a := Summary{Mean: 10, Stdev: 1}
+	b := Summary{Mean: 10.5, Stdev: 0.2}
+	if !WithinStdev(a, b) {
+		t.Fatal("10±1 vs 10.5 should be indistinguishable")
+	}
+	c := Summary{Mean: 13, Stdev: 0.5}
+	if WithinStdev(a, c) {
+		t.Fatal("10±1 vs 13±0.5 should differ")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	h.Observe(-1)
+	h.Observe(10)
+	h.Observe(9.9999999)
+	for i, b := range h.Buckets {
+		want := uint64(1)
+		if i == 9 {
+			want = 2
+		}
+		if b != want {
+			t.Fatalf("bucket %d = %d, want %d", i, b, want)
+		}
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Fatalf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+	if h.Total() != 13 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if !approx(h.BucketCenter(0), 0.5, 1e-12) {
+		t.Fatalf("bucket center = %v", h.BucketCenter(0))
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+// Property: mean lies within [min, max]; stdev is non-negative; percentile
+// is monotone in p.
+func TestQuickSampleInvariants(t *testing.T) {
+	f := func(vs []float64) bool {
+		var clean []float64
+		for _, v := range vs {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var s Sample
+		s.AddAll(clean)
+		m := s.Mean()
+		if m < s.Min()-1e-6 || m > s.Max()+1e-6 {
+			return false
+		}
+		if s.Stdev() < 0 {
+			return false
+		}
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			q := s.Percentile(p)
+			if q < last-1e-9 {
+				return false
+			}
+			last = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: median of an odd-length sample equals the middle order
+// statistic.
+func TestQuickMedianMatchesSort(t *testing.T) {
+	f := func(vs []int16) bool {
+		if len(vs)%2 == 0 {
+			vs = append(vs, 0)
+		}
+		var s Sample
+		fs := make([]float64, len(vs))
+		for i, v := range vs {
+			fs[i] = float64(v)
+		}
+		s.AddAll(fs)
+		sort.Float64s(fs)
+		return s.Median() == fs[len(fs)/2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

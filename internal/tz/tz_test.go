@@ -1,0 +1,210 @@
+package tz
+
+import (
+	"testing"
+	"testing/quick"
+
+	"khsim/internal/mem"
+)
+
+func newMonitor(t *testing.T, dynamic bool) *Monitor {
+	t.Helper()
+	pm := mem.NewMap()
+	if err := pm.Add(mem.Region{Name: "dram", Base: 0x4000_0000, Size: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	return NewMonitor(pm, 4, dynamic)
+}
+
+func TestWorldString(t *testing.T) {
+	if Secure.String() == NonSecure.String() {
+		t.Fatal("world strings identical")
+	}
+}
+
+func TestSecureCarveOutAccessRules(t *testing.T) {
+	m := newMonitor(t, false)
+	if err := m.AddSecureRegion("svault", 0x5000_0000, 0x100_0000); err != nil {
+		t.Fatal(err)
+	}
+	m.Freeze()
+	if m.WorldOf(0x5000_1000) != Secure {
+		t.Fatal("secure address misclassified")
+	}
+	if m.WorldOf(0x4000_0000) != NonSecure {
+		t.Fatal("non-secure address misclassified")
+	}
+	if m.CanAccess(NonSecure, 0x5000_0000, 16) {
+		t.Fatal("non-secure read of secure memory allowed")
+	}
+	if !m.CanAccess(Secure, 0x5000_0000, 16) {
+		t.Fatal("secure access to secure memory denied")
+	}
+	if !m.CanAccess(Secure, 0x4000_0000, 16) {
+		t.Fatal("secure access to non-secure memory denied")
+	}
+	if !m.CanAccess(NonSecure, 0x4000_0000, 16) {
+		t.Fatal("non-secure access to own memory denied")
+	}
+	// A span that straddles into the carve-out is denied.
+	if m.CanAccess(NonSecure, 0x4FFF_F000, 0x2000) {
+		t.Fatal("straddling access allowed")
+	}
+}
+
+func TestSecureRegionValidation(t *testing.T) {
+	m := newMonitor(t, false)
+	if err := m.AddSecureRegion("x", 0x1000, 0x1000); err == nil {
+		t.Fatal("unbacked secure region accepted")
+	}
+	if err := m.AddSecureRegion("x", 0x4000_0000, 0); err == nil {
+		t.Fatal("zero-size accepted")
+	}
+	if err := m.AddSecureRegion("a", 0x4000_0000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSecureRegion("b", 0x4000_0800, 0x1000); err == nil {
+		t.Fatal("overlapping secure regions accepted")
+	}
+}
+
+func TestStaticPartitionFreezes(t *testing.T) {
+	m := newMonitor(t, false)
+	if err := m.AddSecureRegion("a", 0x4000_0000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	m.Freeze()
+	if !m.Frozen() {
+		t.Fatal("not frozen")
+	}
+	if err := m.AddSecureRegion("b", 0x4100_0000, 0x1000); err == nil {
+		t.Fatal("post-freeze add accepted without dynamic extension")
+	}
+	if err := m.FreeSecureRegion("a"); err == nil {
+		t.Fatal("post-freeze free accepted without dynamic extension")
+	}
+}
+
+func TestDynamicPartitioningExtension(t *testing.T) {
+	m := newMonitor(t, true)
+	m.Freeze()
+	if err := m.AddSecureRegion("late", 0x4800_0000, 0x1000); err != nil {
+		t.Fatalf("dynamic add rejected: %v", err)
+	}
+	if m.WorldOf(0x4800_0000) != Secure {
+		t.Fatal("dynamic region not secure")
+	}
+	if err := m.FreeSecureRegion("late"); err != nil {
+		t.Fatalf("dynamic free rejected: %v", err)
+	}
+	if m.WorldOf(0x4800_0000) != NonSecure {
+		t.Fatal("freed region still secure")
+	}
+	if err := m.FreeSecureRegion("nope"); err == nil {
+		t.Fatal("free of unknown region accepted")
+	}
+}
+
+func TestSMCWorldSwitch(t *testing.T) {
+	m := newMonitor(t, false)
+	if m.CoreWorld(0) != NonSecure {
+		t.Fatal("cores should boot non-secure in this model")
+	}
+	w, err := m.SMC(0, SMCWorldSwitch, "", 0, 0)
+	if err != nil || World(w) != Secure {
+		t.Fatalf("switch: %v %v", w, err)
+	}
+	if m.CoreWorld(0) != Secure || m.CoreWorld(1) != NonSecure {
+		t.Fatal("world switch leaked to other core")
+	}
+	m.SMC(0, SMCWorldSwitch, "", 0, 0)
+	if m.CoreWorld(0) != NonSecure {
+		t.Fatal("switch back failed")
+	}
+	if m.SwitchCount != 2 {
+		t.Fatalf("switch count = %d", m.SwitchCount)
+	}
+	if _, err := m.SMC(9, SMCWorldSwitch, "", 0, 0); err == nil {
+		t.Fatal("SMC from bad core accepted")
+	}
+	if _, err := m.SMC(0, SMCFunc(0xdead), "", 0, 0); err == nil {
+		t.Fatal("unknown SMC accepted")
+	}
+}
+
+func TestSMCPartitionOps(t *testing.T) {
+	m := newMonitor(t, true)
+	m.AddSecureRegion("boot", 0x4000_0000, 0x2000)
+	m.Freeze()
+	if got, _ := m.SMC(0, SMCPartitionQuery, "", 0, 0); got != 0x2000 {
+		t.Fatalf("query = %#x", got)
+	}
+	// Partition SMCs require the caller to be in the secure world.
+	if _, err := m.SMC(0, SMCPartitionAdd, "x", 0x4100_0000, 0x1000); err == nil {
+		t.Fatal("non-secure PartitionAdd accepted")
+	}
+	m.SMC(0, SMCWorldSwitch, "", 0, 0)
+	if _, err := m.SMC(0, SMCPartitionAdd, "x", 0x4100_0000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.SMC(0, SMCPartitionQuery, "", 0, 0); got != 0x3000 {
+		t.Fatalf("query after add = %#x", got)
+	}
+	if _, err := m.SMC(0, SMCPartitionFree, "x", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Static monitor rejects both after freeze.
+	ms := newMonitor(t, false)
+	ms.Freeze()
+	ms.SMC(0, SMCWorldSwitch, "", 0, 0)
+	if _, err := ms.SMC(0, SMCPartitionAdd, "x", 0x4100_0000, 0x1000); err == nil {
+		t.Fatal("static PartitionAdd accepted")
+	}
+	if _, err := ms.SMC(0, SMCPartitionFree, "x", 0, 0); err == nil {
+		t.Fatal("static PartitionFree accepted")
+	}
+}
+
+// Property: non-secure world can access an address iff no secure region
+// contains any byte of the access.
+func TestQuickIsolationInvariant(t *testing.T) {
+	f := func(carves []uint16, probes []uint32) bool {
+		pm := mem.NewMap()
+		pm.Add(mem.Region{Name: "dram", Base: 0, Size: 1 << 24})
+		m := NewMonitor(pm, 1, false)
+		type span struct{ base, size uint64 }
+		var placed []span
+		for i, c := range carves {
+			base := (uint64(c) % 4096) * 4096
+			size := uint64(4096)
+			if m.AddSecureRegion(string(rune('a'+i%26))+"x", mem.PA(base), size) == nil {
+				placed = append(placed, span{base, size})
+			}
+		}
+		m.Freeze()
+		for _, p := range probes {
+			addr := uint64(p) % (1 << 24)
+			n := uint64(p%512) + 1
+			if addr+n > 1<<24 {
+				continue
+			}
+			want := true
+			for _, s := range placed {
+				if addr < s.base+s.size && s.base < addr+n {
+					want = false
+					break
+				}
+			}
+			if m.CanAccess(NonSecure, mem.PA(addr), n) != want {
+				return false
+			}
+			if !m.CanAccess(Secure, mem.PA(addr), n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

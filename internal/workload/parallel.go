@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+)
+
+// ParallelRun splits a benchmark across several VCPUs of one VM — the
+// scaling direction the paper's §VII names first ("study ... the
+// performance isolation capabilities of our approach when multiple
+// workloads are hosted on the same compute node"). Each shard is an
+// independent osapi.Process carrying TotalOps/N of the work; the
+// aggregate result uses the span from the first shard's start to the
+// last shard's finish.
+type ParallelRun struct {
+	Spec   Spec
+	Env    Env
+	Shards int
+
+	runs     []*Run
+	started  int
+	finished int
+	firstAt  sim.Time
+	lastAt   sim.Time
+
+	// Result is valid once Finished.
+	Result Result
+}
+
+// NewParallel builds an n-way split of spec. Each shard gets an
+// independent jitter stream derived from env's RNG.
+func NewParallel(spec Spec, env Env, n int) (*ParallelRun, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: %d shards", n)
+	}
+	if env.RNG == nil {
+		env.RNG = sim.NewRNG(1)
+	}
+	p := &ParallelRun{Spec: spec, Env: env, Shards: n}
+	for i := 0; i < n; i++ {
+		shardSpec := spec
+		shardSpec.TotalOps = spec.TotalOps / float64(n)
+		if shardSpec.PhaseOps > shardSpec.TotalOps {
+			shardSpec.PhaseOps = shardSpec.TotalOps
+		}
+		shardEnv := env
+		shardEnv.RNG = env.RNG.Split(uint64(i) + 1)
+		p.runs = append(p.runs, New(shardSpec, shardEnv))
+	}
+	return p, nil
+}
+
+// Shard returns shard i as a schedulable process.
+func (p *ParallelRun) Shard(i int) osapi.Process { return &shardProc{p: p, i: i} }
+
+// Finished reports whether every shard completed.
+func (p *ParallelRun) Finished() bool { return p.finished == p.Shards }
+
+// ShardResult returns shard i's individual result.
+func (p *ParallelRun) ShardResult(i int) Result { return p.runs[i].Result }
+
+type shardProc struct {
+	p *ParallelRun
+	i int
+}
+
+func (s *shardProc) Name() string {
+	return fmt.Sprintf("%s.%d/%d", s.p.Spec.Name, s.i, s.p.Shards)
+}
+
+func (s *shardProc) Main(x osapi.Executor) {
+	p := s.p
+	if p.started == 0 {
+		p.firstAt = x.Now()
+	}
+	p.started++
+	inner := p.runs[s.i]
+	inner.Main(&shardExec{Executor: x, done: func() {
+		p.finished++
+		p.lastAt = x.Now()
+		if p.Finished() {
+			p.aggregate()
+		}
+		x.Done()
+	}})
+}
+
+// shardExec intercepts Done so the aggregate completes once per shard.
+type shardExec struct {
+	osapi.Executor
+	done func()
+}
+
+func (e *shardExec) Done() { e.done() }
+
+func (p *ParallelRun) aggregate() {
+	r := Result{Name: p.Spec.Name, Units: p.Spec.Units, Finished: true}
+	r.Elapsed = p.lastAt.Sub(p.firstAt)
+	for _, run := range p.runs {
+		r.Stolen += run.Result.Stolen
+		r.Extra += run.Result.Extra
+		r.Preempts += run.Result.Preempts
+	}
+	if s := r.Elapsed.Seconds(); s > 0 {
+		r.Rate = p.Spec.TotalOps / s * p.Spec.UnitScale
+	}
+	p.Result = r
+}
+
+// Speedup reports the aggregate rate relative to the spec's calibrated
+// single-shard native rate.
+func (p *ParallelRun) Speedup() float64 {
+	return p.Result.Rate / (p.Spec.NativeRate * p.Spec.UnitScale)
+}

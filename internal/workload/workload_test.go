@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"khsim/internal/gic"
+	"khsim/internal/machine"
+	"khsim/internal/sim"
+	"khsim/internal/timer"
+)
+
+// quietExec runs the workload on a raw, noise-free node.
+type quietExec struct {
+	node *machine.Node
+	done bool
+}
+
+func (e *quietExec) Exec(label string, d sim.Duration, fn func()) {
+	e.node.Cores[0].Exec(label, d, fn)
+}
+func (e *quietExec) Run(a *machine.Activity) { e.node.Cores[0].Run(a) }
+func (e *quietExec) Now() sim.Time           { return e.node.Now() }
+func (e *quietExec) Done()                   { e.done = true }
+
+func runQuiet(t *testing.T, spec Spec, env Env) Result {
+	t.Helper()
+	node := machine.MustNew(machine.PineA64Config(9))
+	r := New(spec, env)
+	x := &quietExec{node: node}
+	r.Main(x)
+	node.Engine.RunAll()
+	if !r.Result.Finished || !x.done {
+		t.Fatalf("workload %s did not finish", spec.Name)
+	}
+	return r.Result
+}
+
+func TestQuietRunMatchesNativeRate(t *testing.T) {
+	spec := GUPS()
+	spec.Jitter = 0
+	res := runQuiet(t, spec, Env{})
+	if math.Abs(res.Rate-6.5e-5)/6.5e-5 > 1e-9 {
+		t.Fatalf("quiet native rate = %v, want 6.5e-5 exactly", res.Rate)
+	}
+	if res.Stolen != 0 || res.Preempts != 0 {
+		t.Fatal("noise on a quiet node")
+	}
+}
+
+func TestTwoStageSlowdownApplied(t *testing.T) {
+	spec := GUPS()
+	spec.Jitter = 0
+	native := runQuiet(t, spec, Env{})
+	virt := runQuiet(t, spec, Env{TwoStage: true})
+	drop := 1 - virt.Rate/native.Rate
+	if math.Abs(drop-spec.S2Slowdown) > 1e-9 {
+		t.Fatalf("two-stage drop = %v, want %v", drop, spec.S2Slowdown)
+	}
+	// Flat workloads are unaffected.
+	ep := NASEP()
+	ep.Jitter = 0
+	a := runQuiet(t, ep, Env{})
+	b := runQuiet(t, ep, Env{TwoStage: true})
+	if a.Rate != b.Rate {
+		t.Fatal("EP affected by two-stage translation")
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	spec := Stream()
+	res1 := runQuiet(t, spec, Env{RNG: sim.NewRNG(4)})
+	res2 := runQuiet(t, spec, Env{RNG: sim.NewRNG(4)})
+	if res1.Rate != res2.Rate {
+		t.Fatal("same-seed jitter differs")
+	}
+	res3 := runQuiet(t, spec, Env{RNG: sim.NewRNG(5)})
+	if res1.Rate == res3.Rate {
+		t.Fatal("different seeds identical")
+	}
+	// Bound: |rate/native - 1| ≤ jitter (quiet run).
+	if d := math.Abs(res1.Rate*1e6/59.6e6*1e6/1 - 1); d > 1 {
+		// computed below properly
+	}
+	rel := math.Abs(res1.Rate/(spec.NativeRate*spec.UnitScale)/(1+spec.S2Slowdown*0) - 1)
+	if rel > spec.Jitter*1.01 {
+		t.Fatalf("jitter excursion %v > %v", rel, spec.Jitter)
+	}
+}
+
+func TestNoiseAmplification(t *testing.T) {
+	// A node with a periodic 50us-cost tick; amp=3 workloads pay 3×.
+	node := machine.MustNew(machine.PineA64Config(9))
+	node.GIC.Enable(gic.IRQPhysTimer)
+	c := node.Cores[0]
+	period := sim.FromMicros(10_000)
+	cost := sim.FromMicros(50)
+	node.GIC.Enable(gic.IRQPhysTimer)
+	c.SetDispatcher(func(c *machine.Core) {
+		irq := node.GIC.Acknowledge(0)
+		if irq == gic.SpuriousIRQ {
+			return
+		}
+		node.GIC.EOI(0, irq)
+		c.Exec("tick", cost, func() { node.Timers.Core(0).ArmAfter(timer.Phys, period) })
+	})
+	node.Timers.Core(0).ArmAfter(timer.Phys, period)
+
+	spec := Spec{
+		Name: "amp", Units: "op/s", UnitScale: 1,
+		NativeRate: 1e6, TotalOps: 1e6, PhaseOps: 1e5,
+		NoiseAmp: 3,
+	}
+	r := New(spec, Env{})
+	x := &quietExec{node: node}
+	r.Main(x)
+	node.Engine.Run(sim.Time(sim.FromSeconds(10)))
+	if !r.Result.Finished {
+		t.Fatal("not finished")
+	}
+	if r.Result.Stolen == 0 {
+		t.Fatal("no noise recorded")
+	}
+	want := sim.Duration(float64(r.Result.Stolen) * 2) // (amp-1)×stolen
+	got := r.Result.Extra
+	if math.Abs(float64(got-want)) > float64(want)/100 {
+		t.Fatalf("extra = %v, want %v", got, want)
+	}
+	// Elapsed reflects work + stolen + extra.
+	wantElapsed := sim.FromSeconds(1) + r.Result.Stolen + got
+	if math.Abs(float64(r.Result.Elapsed-wantElapsed)) > float64(sim.Millisecond) {
+		t.Fatalf("elapsed = %v, want ≈%v", r.Result.Elapsed, wantElapsed)
+	}
+}
+
+func TestSpecsCatalog(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("catalog size = %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.NativeRate <= 0 || s.TotalOps <= 0 || s.UnitScale <= 0 {
+			t.Fatalf("spec %s has non-positive parameters", s.Name)
+		}
+		if s.PhaseOps > s.TotalOps {
+			t.Fatalf("spec %s phase > total", s.Name)
+		}
+	}
+	if _, ok := ByName(NameLU); !ok {
+		t.Fatal("ByName miss")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName false positive")
+	}
+	if GUPS().S2Slowdown <= 0 {
+		t.Fatal("GUPS must be translation sensitive")
+	}
+	if NASLU().NoiseAmp <= 1 || NASEP().NoiseAmp != 1 {
+		t.Fatal("noise amps wrong")
+	}
+	if r := (Result{Name: "x", Units: "u"}); r.String() == "" {
+		t.Fatal("result string empty")
+	}
+}
+
+// Property: on a quiet node, elapsed time equals TotalOps/effectiveRate
+// regardless of phase decomposition.
+func TestQuickPhaseDecompositionInvariant(t *testing.T) {
+	f := func(phasesRaw uint8) bool {
+		phases := int(phasesRaw%30) + 1
+		spec := Spec{
+			Name: "q", Units: "op/s", UnitScale: 1,
+			NativeRate: 5e5, TotalOps: 1e6,
+			PhaseOps: 1e6 / float64(phases),
+		}
+		node := machine.MustNew(machine.PineA64Config(2))
+		r := New(spec, Env{})
+		x := &quietExec{node: node}
+		r.Main(x)
+		node.Engine.RunAll()
+		if !r.Result.Finished {
+			return false
+		}
+		want := 2.0 // seconds
+		return math.Abs(r.Result.Elapsed.Seconds()-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

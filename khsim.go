@@ -1,0 +1,133 @@
+// Package khsim is a simulation-backed reproduction of "Low Overhead
+// Security Isolation using Lightweight Kernels and TEEs" (Lange, Gordon,
+// Gaines — SC 2021): the Kitten lightweight kernel integrated with the
+// Hafnium secure partition manager on ARM64, evaluated against a Linux
+// scheduler VM baseline.
+//
+// The package is a facade over the internal substrates:
+//
+//   - a deterministic discrete-event model of a Pine-A64-class ARMv8 node
+//     (cores, GIC, generic timers, two-stage MMU, TrustZone, measured boot),
+//   - the Hafnium hypervisor model with primary / secondary /
+//     super-secondary partitions and FFA-style memory sharing,
+//   - Kitten and Linux kernel models for the scheduling VM,
+//   - the paper's benchmarks (selfish-detour, STREAM, RandomAccess, HPCG,
+//     NAS LU/BT/CG/EP/SP) as calibrated workload models plus real,
+//     verifying Go implementations,
+//   - and the harness that regenerates every figure and table of the
+//     paper's evaluation (run `go test -bench=.` or cmd/paperbench).
+//
+// Quick start:
+//
+//	opts := khsim.Options{Seed: 1, Manifest: manifestText,
+//	    Scheduler: khsim.SchedulerKitten}
+//	node, err := khsim.NewSecureNode(opts)
+//	...
+//	guest := khsim.NewKittenGuest()
+//	guest.Attach(0, myWorkload)           // any osapi.Process
+//	node.AttachGuest("job", guest)
+//	node.Boot()
+//	node.Run(khsim.Seconds(10))
+//
+// See examples/ for complete programs.
+package khsim
+
+import (
+	"khsim/internal/core"
+	"khsim/internal/harness"
+	"khsim/internal/kitten"
+	"khsim/internal/linuxos"
+	"khsim/internal/noise"
+	"khsim/internal/sim"
+	"khsim/internal/stats"
+	"khsim/internal/workload"
+)
+
+// Node assembly (see internal/core for full documentation).
+type (
+	// Options configure a secure node (manifest, scheduler, keys).
+	Options = core.Options
+	// SecureNode is the paper's system: Hafnium + a scheduling VM.
+	SecureNode = core.SecureNode
+	// NativeNode is bare-metal Kitten, the evaluation baseline.
+	NativeNode = core.NativeNode
+	// Scheduler selects the primary VM's kernel.
+	Scheduler = core.Scheduler
+)
+
+// Scheduler choices.
+const (
+	SchedulerKitten = core.SchedulerKitten
+	SchedulerLinux  = core.SchedulerLinux
+)
+
+// NewSecureNode assembles machine, TrustZone, measured boot, Hafnium and
+// the selected primary kernel.
+func NewSecureNode(opts Options) (*SecureNode, error) { return core.NewSecureNode(opts) }
+
+// NewNativeNode builds and starts a bare-metal Kitten node.
+func NewNativeNode(seed uint64, params kitten.Params) (*NativeNode, error) {
+	return core.NewNativeNode(seed, params)
+}
+
+// Guest kernels.
+
+// NewKittenGuest returns a Kitten guest kernel with default parameters.
+func NewKittenGuest() *kitten.Guest { return kitten.NewGuest(kitten.DefaultParams()) }
+
+// NewLinuxGuest returns a Linux guest kernel (the login-VM role).
+func NewLinuxGuest(seed uint64) *linuxos.Guest {
+	return linuxos.NewGuest(linuxos.DefaultParams(), seed)
+}
+
+// Evaluation harness.
+type (
+	// EvalConfig is one of the paper's three configurations.
+	EvalConfig = harness.Config
+	// SelfishResult is a selfish-detour noise profile.
+	SelfishResult = noise.SelfishResult
+	// WorkloadSpec is a calibrated benchmark model.
+	WorkloadSpec = workload.Spec
+	// ResultTable is a benchmark × configuration matrix.
+	ResultTable = harness.Table
+	// Summary is a mean/stdev snapshot.
+	Summary = stats.Summary
+)
+
+// The three evaluation configurations (§V).
+const (
+	Native   = harness.Native
+	KittenVM = harness.KittenVM
+	LinuxVM  = harness.LinuxVM
+)
+
+// RunSelfish runs the selfish-detour benchmark (Figs 4–6).
+func RunSelfish(cfg EvalConfig, seed uint64, runTime sim.Duration) (*SelfishResult, error) {
+	return harness.RunSelfish(cfg, seed, runTime)
+}
+
+// RunWorkload runs one benchmark trial (Figs 7–10).
+func RunWorkload(cfg EvalConfig, spec WorkloadSpec, seed uint64) (workload.Result, error) {
+	return harness.RunWorkload(cfg, spec, seed)
+}
+
+// MicroExperiment regenerates Fig 7/8; NASExperiment regenerates Fig 9/10.
+func MicroExperiment(trials int, seed uint64) (*ResultTable, error) {
+	return harness.MicroExperiment(trials, seed)
+}
+
+// NASExperiment regenerates the NAS table (Fig 9/10).
+func NASExperiment(trials int, seed uint64) (*ResultTable, error) {
+	return harness.NASExperiment(trials, seed)
+}
+
+// Benchmarks returns the calibrated specs for all eight paper benchmarks.
+func Benchmarks() []WorkloadSpec { return workload.All() }
+
+// Time helpers.
+
+// Seconds converts seconds to simulated duration.
+func Seconds(s float64) sim.Duration { return sim.FromSeconds(s) }
+
+// Micros converts microseconds to simulated duration.
+func Micros(us float64) sim.Duration { return sim.FromMicros(us) }

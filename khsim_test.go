@@ -1,0 +1,116 @@
+package khsim
+
+import (
+	"testing"
+
+	"khsim/internal/kitten"
+	"khsim/internal/machine"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+)
+
+const facadeManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 128
+
+[vm job]
+class = secondary
+vcpus = 1
+memory_mb = 128
+`
+
+type facadeProc struct{ finished bool }
+
+func (p *facadeProc) Name() string { return "facade" }
+func (p *facadeProc) Main(x osapi.Executor) {
+	x.Run(&machine.Activity{Label: "w", Remaining: Micros(500), OnComplete: func() {
+		p.finished = true
+		x.Done()
+	}})
+}
+
+func TestFacadeSecureNodeFlow(t *testing.T) {
+	node, err := NewSecureNode(Options{
+		Seed: 1, Manifest: facadeManifest, Scheduler: SchedulerKitten,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &facadeProc{}
+	guest := NewKittenGuest()
+	guest.Attach(0, p)
+	if err := node.AttachGuest("job", guest); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	node.Run(Seconds(0.2))
+	if !p.finished {
+		t.Fatal("facade workload unfinished")
+	}
+}
+
+func TestFacadeNativeAndGuests(t *testing.T) {
+	n, err := NewNativeNode(2, kitten.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &facadeProc{}
+	if _, err := n.Kernel.Spawn("p", 0, p); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(Seconds(0.1))
+	if !p.finished {
+		t.Fatal("native workload unfinished")
+	}
+	if NewLinuxGuest(1) == nil {
+		t.Fatal("linux guest nil")
+	}
+}
+
+func TestFacadeHarness(t *testing.T) {
+	res, err := RunSelfish(KittenVM, 1, Seconds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("selfish unfinished")
+	}
+	specs := Benchmarks()
+	if len(specs) != 8 {
+		t.Fatalf("benchmarks = %d", len(specs))
+	}
+	r, err := RunWorkload(Native, specs[3], 1) // nas-lu
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Finished {
+		t.Fatal("workload unfinished")
+	}
+	if Seconds(1) != sim.FromSeconds(1) || Micros(1) != sim.FromMicros(1) {
+		t.Fatal("time helpers wrong")
+	}
+}
+
+func TestFacadeExperimentTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tables")
+	}
+	tab, err := MicroExperiment(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Benches) != 3 {
+		t.Fatalf("benches = %v", tab.Benches)
+	}
+	tab2, err := NASExperiment(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab2.Benches) != 5 {
+		t.Fatalf("NAS benches = %v", tab2.Benches)
+	}
+}
