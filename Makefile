@@ -1,0 +1,24 @@
+# Tier-1 gate plus the stricter checks CI runs.
+
+GO ?= go
+
+.PHONY: build test check vet race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full pre-merge gate: build, vet, and the test suite under
+# the race detector.
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

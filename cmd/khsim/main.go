@@ -5,10 +5,16 @@
 // Usage:
 //
 //	khsim [-manifest FILE] [-scheduler kitten|linux] [-bench NAME] [-seed S]
+//	khsim faults [-manifest FILE] [-seed S] [-spec RULES] [-seconds N] [-contain]
 //
 // With no manifest the paper's evaluation partition plan is used. Bench
 // names: hpcg, stream, randomaccess, nas-lu, nas-bt, nas-cg, nas-ep,
 // nas-sp, selfish.
+//
+// The faults subcommand runs the deterministic fault-injection campaign
+// against a victim VM and prints the injection trace, the hypervisor's
+// containment counters, and each VM's fate; -contain instead runs the
+// crash-containment experiment (primary noise with vs without faults).
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 
 	"khsim/internal/core"
+	"khsim/internal/faults"
 	"khsim/internal/hafnium"
 	"khsim/internal/harness"
 	"khsim/internal/kitten"
@@ -40,17 +47,125 @@ memory_mb = 512
 working_set_pages = 256
 `
 
+// faultsManifest is the faults subcommand's default plan: the victim VM
+// carries a restart budget so injected crashes exercise the watchdog.
+const faultsManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 256
+
+[vm job]
+class = secondary
+vcpus = 1
+memory_mb = 128
+restart_policy = restart
+max_restarts = 8
+restart_backoff_us = 200
+`
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "khsim: %v\n", err)
+	os.Exit(1)
+}
+
+// faultsCmd implements `khsim faults`.
+func faultsCmd(args []string) {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "Hafnium manifest file (default: built-in fault-recovery plan)")
+	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same fault trace)")
+	spec := fs.String("spec", "crash:job:200ms,spurious::100ms,tlb::250ms,rogue:job:150ms",
+		"fault rules: kind[:target[:mean]],... (kinds: spurious storm drift s2flip tlb crash rogue)")
+	seconds := fs.Float64("seconds", 2, "simulated run time")
+	contain := fs.Bool("contain", false, "run the crash-containment experiment instead")
+	fs.Parse(args)
+
+	if *contain {
+		r, err := harness.RunFaultContainment(*seed, sim.FromSeconds(*seconds))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r)
+		return
+	}
+
+	manifest := faultsManifest
+	if *manifestPath != "" {
+		b, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			fail(err)
+		}
+		manifest = string(b)
+	}
+	rules, err := faults.ParseSpec(*spec)
+	if err != nil {
+		fail(err)
+	}
+	node, err := core.NewSecureNode(core.Options{
+		Seed: *seed, Manifest: manifest, Scheduler: core.SchedulerKitten,
+	})
+	if err != nil {
+		fail(err)
+	}
+	runTime := sim.FromSeconds(*seconds)
+	// Give every secondary a spin payload so faults always have live prey.
+	for _, vm := range node.Hyp.VMs() {
+		if vm.Class() == hafnium.Primary {
+			continue
+		}
+		guest := kitten.NewGuest(kitten.DefaultParams())
+		guest.Attach(0, noise.NewSelfish(vm.Name(), runTime*2))
+		if err := node.AttachGuest(vm.Name(), guest); err != nil {
+			fail(err)
+		}
+	}
+	if err := node.Boot(); err != nil {
+		fail(err)
+	}
+	in, err := faults.New(node.Machine, node.Hyp, *seed, rules)
+	if err != nil {
+		fail(err)
+	}
+	if err := in.Start(node.Machine.Now().Add(runTime)); err != nil {
+		fail(err)
+	}
+	node.Run(runTime)
+
+	fmt.Printf("fault injection: seed=%d spec=%q over %gs\n", *seed, *spec, *seconds)
+	for _, rec := range in.Trace() {
+		fmt.Println(rec)
+	}
+	ist := in.Stats()
+	fmt.Printf("injected: %d faults\n", ist.Injected)
+	st := node.Hyp.Stats()
+	fmt.Printf("hypervisor: aborts=%d restarts=%d quarantines=%d scrubbed_pages=%d bad_hypercalls=%d worldswitches=%d\n",
+		st.Aborts, st.Restarts, st.Quarantines, st.ScrubbedPages, st.BadHypercalls, st.WorldSwitches)
+	for _, vm := range node.Hyp.VMs() {
+		if vm.Class() == hafnium.Primary {
+			continue
+		}
+		line := fmt.Sprintf("vm %-8s %-12v restarts=%d cpu=%v", vm.Name(), vm.State(), vm.Restarts(), node.Hyp.CPUTime(vm.ID()))
+		if r := vm.CrashReason(); r != "" {
+			line += " last_crash=" + r
+		}
+		fmt.Println(line)
+	}
+	if err := node.Hyp.VerifyIsolation(); err != nil {
+		fail(fmt.Errorf("isolation violated: %w", err))
+	}
+	fmt.Println("isolation: verified")
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "faults" {
+		faultsCmd(os.Args[2:])
+		return
+	}
 	manifestPath := flag.String("manifest", "", "Hafnium manifest file (default: built-in evaluation plan)")
 	schedName := flag.String("scheduler", "kitten", "primary VM kernel: kitten or linux")
 	benchName := flag.String("bench", "randomaccess", "benchmark to run in the job VM")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	flag.Parse()
-
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "khsim: %v\n", err)
-		os.Exit(1)
-	}
 
 	manifest := defaultManifest
 	if *manifestPath != "" {

@@ -1,0 +1,452 @@
+// Package faults is a deterministic, seed-driven fault-injection
+// subsystem for the simulated secure node. It plugs into the discrete-
+// event engine and injects hardware- and guest-level faults on an
+// explicit schedule or probabilistically (exponential inter-arrivals):
+// spurious and storming device interrupts through the GIC, virtual-timer
+// drift, silent stage-2 permission corruption, TLB corruption, outright
+// VCPU crashes, and rogue hypercalls. Everything the injector does is a
+// function of (seed, rules, engine state), so two runs with the same
+// inputs produce bit-for-bit identical event traces — the property the
+// containment experiments rely on.
+//
+// The injector deliberately owns an RNG *independent* of the engine's
+// stream: enabling it must not perturb the random draws of unrelated
+// components, so a fault-free run and a faulted run stay comparable
+// everywhere the faults don't reach.
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"khsim/internal/hafnium"
+	"khsim/internal/machine"
+	"khsim/internal/mem"
+	"khsim/internal/mmu"
+	"khsim/internal/sim"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault kinds.
+const (
+	// SpuriousIRQ raises a stray device SPI no driver asked for.
+	SpuriousIRQ Kind = iota
+	// IRQStorm raises a back-to-back burst of the same stray SPI.
+	IRQStorm
+	// TimerDrift pushes the target VM's armed virtual-timer deadline into
+	// the future, modelling a drifting or missed tick.
+	TimerDrift
+	// Stage2Flip silently downgrades a random page of the target VM's
+	// stage-2 RAM mapping to read-only; the hypervisor detects the
+	// violation and contains the VM.
+	Stage2Flip
+	// TLBCorrupt invalidates a core's entire TLB — a performance fault,
+	// not a correctness one.
+	TLBCorrupt
+	// VCPUCrash kills the target VM outright (a guest panic).
+	VCPUCrash
+	// RogueHypercall issues malformed hypercalls in the target VM's name:
+	// bad mem-share handles, misaligned and out-of-range regions,
+	// self-notification.
+	RogueHypercall
+
+	nKinds // sentinel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SpuriousIRQ:
+		return "spurious"
+	case IRQStorm:
+		return "storm"
+	case TimerDrift:
+		return "drift"
+	case Stage2Flip:
+		return "s2flip"
+	case TLBCorrupt:
+		return "tlb"
+	case VCPUCrash:
+		return "crash"
+	case RogueHypercall:
+		return "rogue"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a spec-string name back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for k := Kind(0); k < nKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown fault kind %q", s)
+}
+
+// Rule schedules injections of one fault kind. Either Mean (exponential
+// inter-arrivals) or explicit At times must be set.
+type Rule struct {
+	Kind   Kind
+	Target string       // VM name for VM-directed faults; "" = rotate over non-primary VMs
+	Core   int          // physical core for IRQ/TLB faults; negative = rotate
+	Mean   sim.Duration // mean exponential inter-arrival (0 = use At only)
+	At     []sim.Time   // explicit injection times
+	Count  int          // cap on probabilistic firings (0 = until the horizon)
+	Burst  int          // storm size (0 = 8)
+	Drift  sim.Duration // timer-drift magnitude (0 = 50µs)
+}
+
+// Record is one injected fault in the deterministic event trace.
+type Record struct {
+	Seq    int
+	At     sim.Time
+	Kind   Kind
+	Target string // VM name or "core<N>"
+	Detail string
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("%12.6fs %-8s %-10s %s", r.At.Seconds(), r.Kind, r.Target, r.Detail)
+}
+
+// Stats summarizes injector activity.
+type Stats struct {
+	Injected uint64
+	ByKind   [nKinds]uint64
+}
+
+// spuriousSPI is the device interrupt line the injector claims for stray
+// and storming interrupts (well clear of the node's real devices).
+const spuriousSPI = 96
+
+// Injector drives a rule set against one node. Build with New, then
+// Start once the system is booted.
+type Injector struct {
+	node    *machine.Node
+	hyp     *hafnium.Hypervisor
+	rng     *sim.RNG
+	rules   []Rule
+	fired   []int
+	trace   []Record
+	stats   Stats
+	victims []*hafnium.VM
+
+	nextVictim int
+	nextCore   int
+	started    bool
+}
+
+// New validates the rules and builds an injector over a constructed (not
+// necessarily booted) secure node. The seed is independent of the engine
+// seed so injection randomness never couples to workload randomness.
+func New(node *machine.Node, hyp *hafnium.Hypervisor, seed uint64, rules []Rule) (*Injector, error) {
+	in := &Injector{
+		node:  node,
+		hyp:   hyp,
+		rng:   sim.NewRNG(seed*0x9e3779b97f4a7c15 + 0xfa017),
+		rules: rules,
+		fired: make([]int, len(rules)),
+	}
+	for _, vm := range hyp.VMs() {
+		if vm.Class() != hafnium.Primary {
+			in.victims = append(in.victims, vm)
+		}
+	}
+	for i, r := range rules {
+		if r.Kind < 0 || r.Kind >= nKinds {
+			return nil, fmt.Errorf("faults: rule %d: unknown kind %d", i, int(r.Kind))
+		}
+		if r.Mean <= 0 && len(r.At) == 0 {
+			return nil, fmt.Errorf("faults: rule %d (%v): needs Mean or At times", i, r.Kind)
+		}
+		if r.Target != "" {
+			if _, ok := hyp.VMByName(r.Target); !ok {
+				return nil, fmt.Errorf("faults: rule %d (%v): no VM %q", i, r.Kind, r.Target)
+			}
+		} else if needsVM(r.Kind) && len(in.victims) == 0 {
+			return nil, fmt.Errorf("faults: rule %d (%v): no non-primary VM to target", i, r.Kind)
+		}
+		if r.Core >= len(node.Cores) {
+			return nil, fmt.Errorf("faults: rule %d (%v): bad core %d", i, r.Kind, r.Core)
+		}
+	}
+	return in, nil
+}
+
+func needsVM(k Kind) bool {
+	switch k {
+	case TimerDrift, Stage2Flip, VCPUCrash, RogueHypercall:
+		return true
+	}
+	return false
+}
+
+// Start enables the spurious interrupt line and schedules every rule's
+// injections up to the horizon. Call after the node has booted.
+func (in *Injector) Start(until sim.Time) error {
+	if in.started {
+		return fmt.Errorf("faults: injector already started")
+	}
+	in.started = true
+	if err := in.node.GIC.Enable(spuriousSPI); err != nil {
+		return fmt.Errorf("faults: claiming SPI %d: %w", spuriousSPI, err)
+	}
+	for i := range in.rules {
+		r := &in.rules[i]
+		for _, at := range r.At {
+			t := at
+			if t < in.node.Now() {
+				t = in.node.Now()
+			}
+			ri := i
+			in.node.Engine.ScheduleNamed(t, "faults."+r.Kind.String(), func() { in.fire(ri) })
+		}
+		if r.Mean > 0 {
+			in.armNext(i, until)
+		}
+	}
+	return nil
+}
+
+// armNext schedules rule ri's next probabilistic firing.
+func (in *Injector) armNext(ri int, until sim.Time) {
+	r := &in.rules[ri]
+	if r.Count > 0 && in.fired[ri] >= r.Count {
+		return
+	}
+	at := in.node.Now().Add(in.rng.ExpDuration(r.Mean))
+	if at > until {
+		return
+	}
+	in.node.Engine.ScheduleNamed(at, "faults."+r.Kind.String(), func() {
+		in.fire(ri)
+		in.armNext(ri, until)
+	})
+}
+
+// Trace returns the injection event trace in firing order.
+func (in *Injector) Trace() []Record {
+	out := make([]Record, len(in.trace))
+	copy(out, in.trace)
+	return out
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// pickVM resolves a rule's target VM, rotating round-robin over the
+// non-primary partitions when unset (round-robin, not random, so target
+// choice stays stable even if rule sets change).
+func (in *Injector) pickVM(r *Rule) *hafnium.VM {
+	if r.Target != "" {
+		vm, _ := in.hyp.VMByName(r.Target)
+		return vm
+	}
+	vm := in.victims[in.nextVictim%len(in.victims)]
+	in.nextVictim++
+	return vm
+}
+
+// pickCore resolves a rule's target core, rotating when negative.
+func (in *Injector) pickCore(r *Rule) int {
+	if r.Core >= 0 {
+		return r.Core
+	}
+	c := in.nextCore % len(in.node.Cores)
+	in.nextCore++
+	return c
+}
+
+// fire performs one injection for rule ri and appends a trace record.
+func (in *Injector) fire(ri int) {
+	r := &in.rules[ri]
+	in.fired[ri]++
+	rec := Record{Seq: len(in.trace), At: in.node.Now(), Kind: r.Kind}
+	switch r.Kind {
+	case SpuriousIRQ:
+		core := in.pickCore(r)
+		rec.Target = fmt.Sprintf("core%d", core)
+		rec.Detail = in.raiseSPI(core)
+	case IRQStorm:
+		core := in.pickCore(r)
+		burst := r.Burst
+		if burst <= 0 {
+			burst = 8
+		}
+		rec.Target = fmt.Sprintf("core%d", core)
+		rec.Detail = fmt.Sprintf("burst of %d on SPI %d", burst, spuriousSPI)
+		// The GIC deduplicates a pending SPI, so the burst is spread one
+		// microsecond apart: each raise lands after the previous one was
+		// acknowledged.
+		for i := 0; i < burst; i++ {
+			in.node.Engine.AfterNamed(sim.FromMicros(float64(i)), "faults.storm.pulse", func() {
+				in.raiseSPI(core)
+			})
+		}
+	case TimerDrift:
+		vm := in.pickVM(r)
+		rec.Target = vm.Name()
+		drift := r.Drift
+		if drift <= 0 {
+			drift = sim.FromMicros(50)
+		}
+		vc := vm.VCPU(0)
+		if vm.State() != hafnium.VMRunning || vc == nil || !vc.VTimerArmed() {
+			rec.Detail = "no armed vtimer; skipped"
+			break
+		}
+		old := vc.VTimerDeadline()
+		vc.ArmVTimer(old.Add(drift))
+		rec.Detail = fmt.Sprintf("vtimer deadline +%v", drift)
+	case Stage2Flip:
+		vm := in.pickVM(r)
+		rec.Target = vm.Name()
+		if vm.State() != hafnium.VMRunning {
+			rec.Detail = fmt.Sprintf("vm %v; skipped", vm.State())
+			break
+		}
+		base, size := vm.RAM()
+		page := uint64(in.rng.Intn(int(size / mem.PageSize)))
+		ipa := base + page*mem.PageSize
+		if err := vm.Stage2().Protect(ipa, mem.PageSize, mmu.PermR); err != nil {
+			rec.Detail = fmt.Sprintf("flip at IPA %#x: %v", ipa, err)
+			break
+		}
+		// The corruption is detected at the guest's next write: model the
+		// detection as an immediate hypervisor-observed stage-2 violation.
+		err := in.hyp.InjectVMFault(vm.ID(), fmt.Sprintf("stage-2 permission corruption at IPA %#x", ipa))
+		rec.Detail = fmt.Sprintf("RO flip at IPA %#x; contained (%v)", ipa, err)
+	case TLBCorrupt:
+		core := in.pickCore(r)
+		n := in.node.Cores[core].TLB().InvalidateAll()
+		rec.Target = fmt.Sprintf("core%d", core)
+		rec.Detail = fmt.Sprintf("invalidated %d TLB entries", n)
+	case VCPUCrash:
+		vm := in.pickVM(r)
+		rec.Target = vm.Name()
+		if err := in.hyp.InjectVMFault(vm.ID(), "injected vcpu crash"); err != nil {
+			rec.Detail = fmt.Sprintf("not crashed: %v", err)
+		} else {
+			rec.Detail = "crashed; contained"
+		}
+	case RogueHypercall:
+		vm := in.pickVM(r)
+		rec.Target = vm.Name()
+		rec.Detail = in.rogueHypercall(vm)
+	}
+	in.trace = append(in.trace, rec)
+	in.stats.Injected++
+	in.stats.ByKind[r.Kind]++
+}
+
+// raiseSPI routes the injector's SPI to the core and raises it.
+func (in *Injector) raiseSPI(core int) string {
+	d := in.node.GIC
+	if err := d.Route(spuriousSPI, core); err != nil {
+		return fmt.Sprintf("route SPI %d: %v", spuriousSPI, err)
+	}
+	if err := d.RaiseSPI(spuriousSPI); err != nil {
+		return fmt.Sprintf("raise SPI %d: %v", spuriousSPI, err)
+	}
+	return fmt.Sprintf("raised SPI %d", spuriousSPI)
+}
+
+// rogueHypercall issues one canned malformed hypercall in the VM's name
+// and reports how the hypervisor answered. The containment property under
+// test: every one of these returns an error; none reaches another VM's
+// memory or takes the node down.
+func (in *Injector) rogueHypercall(vm *hafnium.VM) string {
+	base, size := vm.RAM()
+	id := vm.ID()
+	var err error
+	var what string
+	switch in.rng.Intn(4) {
+	case 0:
+		what = "share-to-self"
+		_, _, err = in.hyp.ShareMemory(hafnium.MemShare, id, id, base, mem.PageSize, mmu.PermRW)
+	case 1:
+		what = "share-misaligned"
+		_, _, err = in.hyp.ShareMemory(hafnium.MemLend, id, hafnium.PrimaryID, base+0x123, mem.PageSize, mmu.PermRW)
+	case 2:
+		what = "share-out-of-range-ipa"
+		_, _, err = in.hyp.ShareMemory(hafnium.MemShare, id, hafnium.PrimaryID, base+size+0x10000000, mem.PageSize, mmu.PermRW)
+	default:
+		what = "reclaim-bad-handle"
+		err = in.hyp.ReclaimMemory(id, 0xdead0000+uint64(in.rng.Intn(1<<16)))
+	}
+	if err == nil {
+		return what + ": unexpectedly accepted"
+	}
+	return what + ": denied (" + err.Error() + ")"
+}
+
+// ParseSpec parses the CLI fault specification: comma-separated entries
+// of the form kind[:target[:mean]], e.g.
+//
+//	crash:job:200ms,spurious::50ms,rogue:job:100ms,tlb::500ms
+//
+// target is a VM name (empty = rotate); mean is an inter-arrival time
+// with an ns/us/ms/s suffix (default 1ms). IRQ and TLB kinds ignore the
+// VM target and rotate over cores.
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.SplitN(entry, ":", 3)
+		kind, err := ParseKind(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Kind: kind, Core: -1, Mean: sim.FromMicros(1000)}
+		if len(parts) > 1 {
+			r.Target = strings.TrimSpace(parts[1])
+		}
+		if len(parts) > 2 {
+			d, err := parseDuration(strings.TrimSpace(parts[2]))
+			if err != nil {
+				return nil, fmt.Errorf("faults: entry %q: %w", entry, err)
+			}
+			r.Mean = d
+		}
+		if !needsVM(kind) {
+			r.Target = ""
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faults: empty fault spec")
+	}
+	return rules, nil
+}
+
+// parseDuration reads a duration with an ns/us/ms/s suffix.
+func parseDuration(s string) (sim.Duration, error) {
+	units := []struct {
+		suffix string
+		scale  func(float64) sim.Duration
+	}{
+		{"ns", sim.FromNanos},
+		{"us", sim.FromMicros},
+		{"ms", func(v float64) sim.Duration { return sim.FromMicros(v * 1000) }},
+		{"s", sim.FromSeconds},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimSuffix(s, u.suffix), "%g", &v); err != nil {
+				return 0, fmt.Errorf("bad duration %q", s)
+			}
+			if v <= 0 {
+				return 0, fmt.Errorf("non-positive duration %q", s)
+			}
+			return u.scale(v), nil
+		}
+	}
+	return 0, fmt.Errorf("duration %q needs an ns/us/ms/s suffix", s)
+}

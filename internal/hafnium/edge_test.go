@@ -184,7 +184,8 @@ func TestAccessorsAndStrings(t *testing.T) {
 	}
 	for _, s := range []fmt_Stringer{
 		Primary, SuperSecondary, Secondary,
-		VMConfigured, VMRunning, VMStopped, VMAborted,
+		VMConfigured, VMRunning, VMStopped, VMCrashed, VMQuarantined,
+		RestartNever, RestartAlways,
 		VCPUStopped, VCPURunnable, VCPURunning, VCPUBlocked,
 		ExitInterrupted, ExitYield, ExitBlocked, ExitStopped, ExitAborted,
 		RouteViaPrimary, RouteSelective, TLBVMIDTagged, TLBFlushAll,

@@ -21,7 +21,11 @@ type Stats struct {
 	Kicks         uint64 // cross-core SGI kicks
 	Messages      uint64 // mailbox sends
 	Notifications uint64 // doorbell notifications
-	Aborts        uint64
+	Aborts        uint64 // VM crashes contained (every abort path)
+	Restarts      uint64 // watchdog restarts of crashed VMs
+	Quarantines   uint64 // VMs taken out of service after crashing
+	ScrubbedPages uint64 // pages scrubbed during grant revocation and restart
+	BadHypercalls uint64 // guest API misuse answered with a contained crash
 }
 
 // Hypervisor is the EL2 secure partition manager instance for one node.
@@ -336,13 +340,23 @@ func (h *Hypervisor) inject(c *machine.Core, vc *VCPU, virq int) {
 }
 
 // handleKick processes a cross-core SGI sent to this core: deliver any
-// pending virtual interrupts, or force an exit if the VM was stopped.
+// pending virtual interrupts, or force an exit if the VM was stopped or
+// crashed underneath its resident VCPU.
 func (h *Hypervisor) handleKick(c *machine.Core, vc *VCPU) {
 	if vc.vm.state != VMRunning {
-		h.forceExit(c, vc, ExitStopped)
+		h.forceExit(c, vc, deadExitReason(vc.vm.state))
 		return
 	}
 	h.drainPending(c, vc)
+}
+
+// deadExitReason maps a non-running VM state to the exit reason its
+// ejected VCPUs report.
+func deadExitReason(s VMState) ExitReason {
+	if s == VMCrashed || s == VMQuarantined {
+		return ExitAborted
+	}
+	return ExitStopped
 }
 
 // drainPending injects all queued virtual interrupts into the resident
@@ -403,11 +417,26 @@ func (h *Hypervisor) forceExit(c *machine.Core, vc *VCPU, reason ExitReason) {
 }
 
 // guestExit handles voluntary exits (yield/block) from guest context.
+// Misuse — exiting with suspended guest work, or an exit reason the
+// hypercall interface does not define — is guest-attributable and crashes
+// the offending VM rather than the simulator.
 func (h *Hypervisor) guestExit(vc *VCPU, reason ExitReason) {
 	c := vc.resident()
+	if c == nil {
+		return
+	}
 	id := c.ID()
+	if vm := vc.vm; vm.state != VMRunning {
+		// The VM stopped or crashed underneath this VCPU (StopVM from the
+		// control task, a sibling abort on another core) and the exit
+		// raced the eviction kick: eject it now.
+		h.forceExit(c, vc, deadExitReason(vm.state))
+		return
+	}
 	if c.Depth() != 0 {
-		panic(fmt.Sprintf("hafnium: %s exiting with suspended guest work %v", vc, c.StackLabels()))
+		h.stats.BadHypercalls++
+		h.abortFromGuest(vc, fmt.Sprintf("exit with suspended guest work %v", c.StackLabels()))
+		return
 	}
 	switch reason {
 	case ExitYield:
@@ -424,7 +453,9 @@ func (h *Hypervisor) guestExit(vc *VCPU, reason ExitReason) {
 			vc.state = VCPUBlocked
 		}
 	default:
-		panic(fmt.Sprintf("hafnium: guestExit with reason %v", reason))
+		h.stats.BadHypercalls++
+		h.abortFromGuest(vc, fmt.Sprintf("invalid exit reason %d", int(reason)))
+		return
 	}
 	vc.saved = nil
 	vc.core = -1
@@ -438,29 +469,16 @@ func (h *Hypervisor) guestExit(vc *VCPU, reason ExitReason) {
 	})
 }
 
-// guestAbort marks the whole VM aborted and exits to the primary.
+// guestAbort marks the whole VM crashed and exits to the primary. It
+// also tolerates being reported from a descheduled context (the VM still
+// dies, without a world switch).
 func (h *Hypervisor) guestAbort(vc *VCPU) {
-	c := vc.resident()
-	id := c.ID()
-	vm := vc.vm
-	vm.state = VMAborted
-	h.stats.Aborts++
-	for _, v := range vm.vcpus {
-		v.state = VCPUStopped
-		v.CancelVTimer()
-		if v != vc && v.core >= 0 {
-			h.kick(v.core)
-		}
+	reason := "guest abort (" + vc.String() + ")"
+	if vc.core < 0 {
+		h.crashVM(vc.vm, reason)
+		return
 	}
-	vc.saved = nil
-	vc.core = -1
-	h.accountCPU(id, vc)
-	h.cur[id] = nil
-	h.stats.WorldSwitches++
-	costs := h.node.Costs
-	c.ExecUninterruptible("el2.abort", costs.HypTrap+costs.WorldSwitch, func() {
-		h.primaryOS.VCPUExited(c, vc, ExitAborted)
-	})
+	h.abortFromGuest(vc, reason)
 }
 
 // coreIdle fires when a core runs out of work. In guest context that
@@ -609,12 +627,15 @@ func (h *Hypervisor) watchVTimer(vc *VCPU) {
 	})
 }
 
-// kick sends the hypervisor's cross-core SGI to a physical core.
-func (h *Hypervisor) kick(core int) {
-	h.stats.Kicks++
+// kick sends the hypervisor's cross-core SGI to a physical core. A
+// rejected SGI (bad core number) is reported to the caller rather than
+// taking the simulator down; callers treat the kick as best-effort.
+func (h *Hypervisor) kick(core int) error {
 	if err := h.node.GIC.SendSGI(core, VIRQKick); err != nil {
-		panic(fmt.Sprintf("hafnium: kick: %v", err))
+		return fmt.Errorf("hafnium: kick core %d: %w", core, err)
 	}
+	h.stats.Kicks++
+	return nil
 }
 
 // InjectDeviceIRQ forwards a device interrupt into a VM as a virtual
@@ -642,7 +663,7 @@ func (h *Hypervisor) pendToVM(vm *VM, virq int) {
 	vc := vm.vcpus[0]
 	vc.pendVIRQ(virq)
 	if vc.core >= 0 {
-		h.kick(vc.core)
+		_ = h.kick(vc.core) // core came from a resident VCPU; cannot fail
 		return
 	}
 	if vc.state == VCPUBlocked {
@@ -666,7 +687,7 @@ func (h *Hypervisor) StopVM(id VMID) error {
 	vm.state = VMStopped
 	for _, vc := range vm.vcpus {
 		if vc.core >= 0 {
-			h.kick(vc.core)
+			_ = h.kick(vc.core)
 		} else {
 			vc.state = VCPUStopped
 			vc.CancelVTimer()

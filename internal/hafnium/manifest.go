@@ -18,6 +18,18 @@ type VMSpec struct {
 	// is switched in after a flush; workload harnesses set it to the
 	// benchmark's hot page count.
 	WorkingSetPages int
+	// Restart is the watchdog policy applied when the VM crashes.
+	Restart RestartPolicy
+	// MaxRestarts caps watchdog restarts (0 = unlimited while the policy
+	// is RestartAlways).
+	MaxRestarts int
+	// Quarantine holds the VM out of service once the restart budget is
+	// exhausted — or immediately on crash when Restart is RestartNever.
+	Quarantine bool
+	// RestartBackoffUS is the watchdog delay before the first restart, in
+	// microseconds of simulated time; it doubles per consecutive restart.
+	// 0 selects the default (100µs).
+	RestartBackoffUS int
 }
 
 // Manifest is the static partition configuration Hafnium consumes during
@@ -48,11 +60,23 @@ func (m *Manifest) Validate() error {
 		if v.MemMB <= 0 {
 			return fmt.Errorf("hafnium: VM %q has %d MiB memory", v.Name, v.MemMB)
 		}
+		if v.MaxRestarts < 0 {
+			return fmt.Errorf("hafnium: VM %q has negative max_restarts", v.Name)
+		}
+		if v.RestartBackoffUS < 0 {
+			return fmt.Errorf("hafnium: VM %q has negative restart_backoff_us", v.Name)
+		}
+		if v.Restart == RestartNever && (v.MaxRestarts != 0 || v.RestartBackoffUS != 0) {
+			return fmt.Errorf("hafnium: VM %q sets restart limits without restart_policy = restart", v.Name)
+		}
 		switch v.Class {
 		case Primary:
 			primaries++
 			if v.Secure {
 				return fmt.Errorf("hafnium: primary VM %q cannot be secure-world", v.Name)
+			}
+			if v.Restart != RestartNever || v.Quarantine {
+				return fmt.Errorf("hafnium: primary VM %q cannot have a crash policy (its failure is fatal)", v.Name)
 			}
 		case SuperSecondary:
 			supers++
@@ -182,6 +206,33 @@ func ParseManifest(text string) (*Manifest, error) {
 				return nil, fmt.Errorf("hafnium: manifest line %d: secure: %v", ln+1, err)
 			}
 			cur.Secure = b
+		case "restart_policy":
+			switch val {
+			case "none":
+				cur.Restart = RestartNever
+			case "restart":
+				cur.Restart = RestartAlways
+			default:
+				return nil, fmt.Errorf("hafnium: manifest line %d: unknown restart_policy %q", ln+1, val)
+			}
+		case "max_restarts":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("hafnium: manifest line %d: max_restarts: %v", ln+1, err)
+			}
+			cur.MaxRestarts = n
+		case "quarantine":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("hafnium: manifest line %d: quarantine: %v", ln+1, err)
+			}
+			cur.Quarantine = b
+		case "restart_backoff_us":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("hafnium: manifest line %d: restart_backoff_us: %v", ln+1, err)
+			}
+			cur.RestartBackoffUS = n
 		default:
 			return nil, fmt.Errorf("hafnium: manifest line %d: unknown VM key %q", ln+1, key)
 		}
@@ -208,6 +259,18 @@ func (m *Manifest) Format() string {
 		}
 		if v.WorkingSetPages != 0 {
 			fmt.Fprintf(&sb, "working_set_pages = %d\n", v.WorkingSetPages)
+		}
+		if v.Restart != RestartNever {
+			fmt.Fprintf(&sb, "restart_policy = %s\n", v.Restart)
+		}
+		if v.MaxRestarts != 0 {
+			fmt.Fprintf(&sb, "max_restarts = %d\n", v.MaxRestarts)
+		}
+		if v.Quarantine {
+			sb.WriteString("quarantine = true\n")
+		}
+		if v.RestartBackoffUS != 0 {
+			fmt.Fprintf(&sb, "restart_backoff_us = %d\n", v.RestartBackoffUS)
 		}
 	}
 	return sb.String()

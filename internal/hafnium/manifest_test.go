@@ -28,6 +28,10 @@ vcpus = 1
 memory_mb = 512
 secure = true
 working_set_pages = 128
+restart_policy = restart
+max_restarts = 4
+quarantine = true
+restart_backoff_us = 250
 `
 
 func TestParseManifest(t *testing.T) {
@@ -48,6 +52,9 @@ func TestParseManifest(t *testing.T) {
 	j := m.VMs[2]
 	if !j.Secure || j.WorkingSetPages != 128 || j.Class != Secondary {
 		t.Fatalf("job0 spec = %+v", j)
+	}
+	if j.Restart != RestartAlways || j.MaxRestarts != 4 || !j.Quarantine || j.RestartBackoffUS != 250 {
+		t.Fatalf("job0 crash policy = %+v", j)
 	}
 }
 
@@ -89,6 +96,24 @@ func TestParseManifestErrors(t *testing.T) {
 		"[vm p]\nclass = primary\nvcpus = 0\n",
 		// zero memory
 		"[vm p]\nclass = primary\nmemory_mb = 0\n",
+		// bad restart policy value
+		"[vm a]\nrestart_policy = sometimes\n",
+		// bad max_restarts value
+		"[vm a]\nmax_restarts = few\n",
+		// bad quarantine value
+		"[vm a]\nquarantine = maybe\n",
+		// bad backoff value
+		"[vm a]\nrestart_backoff_us = slow\n",
+		// negative restart budget
+		"[vm p]\nclass = primary\n[vm a]\nclass = secondary\nrestart_policy = restart\nmax_restarts = -1\n",
+		// negative backoff
+		"[vm p]\nclass = primary\n[vm a]\nclass = secondary\nrestart_policy = restart\nrestart_backoff_us = -5\n",
+		// restart limits without a restart policy
+		"[vm p]\nclass = primary\n[vm a]\nclass = secondary\nmax_restarts = 3\n",
+		"[vm p]\nclass = primary\n[vm a]\nclass = secondary\nrestart_backoff_us = 50\n",
+		// crash policy on the primary
+		"[vm p]\nclass = primary\nrestart_policy = restart\n[vm a]\nclass = secondary\n",
+		"[vm p]\nclass = primary\nquarantine = true\n[vm a]\nclass = secondary\n",
 	}
 	for i, c := range cases {
 		if _, err := ParseManifest(c); err == nil {
@@ -112,6 +137,16 @@ func TestManifestFormatRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(text, "secure = true") {
 		t.Fatal("secure flag lost in format")
+	}
+	for i := range m.VMs {
+		a, b := m.VMs[i], m2.VMs[i]
+		if a.Restart != b.Restart || a.MaxRestarts != b.MaxRestarts ||
+			a.Quarantine != b.Quarantine || a.RestartBackoffUS != b.RestartBackoffUS {
+			t.Fatalf("crash policy lost in round trip: %+v vs %+v", a, b)
+		}
+	}
+	if !strings.Contains(text, "restart_policy = restart") {
+		t.Fatal("restart policy lost in format")
 	}
 }
 

@@ -58,8 +58,19 @@ const (
 	VMConfigured VMState = iota // built from manifest, not started
 	VMRunning
 	VMStopped
-	VMAborted
+	// VMCrashed marks a VM taken down by guest misbehaviour (guest panic,
+	// stage-2 violation, rogue hypercall): its memory grants are revoked,
+	// pending virtual interrupts drained, and the per-VM watchdog decides
+	// between restart and quarantine.
+	VMCrashed
+	// VMQuarantined marks a crashed VM whose restart budget is exhausted
+	// (or whose manifest requests quarantine on first crash): it is held
+	// out of service until a fresh signed image is launched.
+	VMQuarantined
 )
+
+// VMAborted is the historical name for VMCrashed.
+const VMAborted = VMCrashed
 
 func (s VMState) String() string {
 	switch s {
@@ -69,9 +80,34 @@ func (s VMState) String() string {
 		return "running"
 	case VMStopped:
 		return "stopped"
+	case VMCrashed:
+		return "crashed"
+	case VMQuarantined:
+		return "quarantined"
 	default:
-		return "aborted"
+		return fmt.Sprintf("VMState(%d)", int(s))
 	}
+}
+
+// RestartPolicy selects what the per-VM watchdog does after a crash.
+type RestartPolicy int
+
+// Watchdog policies.
+const (
+	// RestartNever leaves a crashed VM down (the default). Recovery then
+	// requires a fresh signed image through the §VII launch path, or
+	// quarantine if the manifest asks for it.
+	RestartNever RestartPolicy = iota
+	// RestartAlways reboots the VM from its manifest image after a
+	// sim-time backoff, up to MaxRestarts times.
+	RestartAlways
+)
+
+func (p RestartPolicy) String() string {
+	if p == RestartAlways {
+		return "restart"
+	}
+	return "none"
 }
 
 // VCPUState tracks one virtual CPU.

@@ -54,11 +54,14 @@ func (vc *VCPU) String() string {
 	return fmt.Sprintf("%s/vcpu%d", vc.vm.spec.Name, vc.index)
 }
 
-// resident returns the physical core, panicking on misuse from
-// non-resident contexts (always a kernel-model bug).
+// resident returns the physical core the VCPU occupies, or nil. Guest API
+// use from a non-resident context is guest misbehaviour (a rogue
+// hypercall), not a simulator bug: the offending VM is crashed and the
+// caller drops the work.
 func (vc *VCPU) resident() *machine.Core {
 	if vc.core < 0 {
-		panic(fmt.Sprintf("hafnium: %s used while not resident", vc))
+		vc.vm.hyp.badHypercall(vc.vm, fmt.Sprintf("%s hypercall while not resident", vc))
+		return nil
 	}
 	return vc.vm.hyp.node.Cores[vc.core]
 }
@@ -68,11 +71,17 @@ func (vc *VCPU) Now() sim.Time { return vc.vm.hyp.node.Now() }
 
 // Exec runs guest work on the resident core.
 func (vc *VCPU) Exec(label string, d sim.Duration, fn func()) {
-	vc.resident().Exec(label, d, fn)
+	if c := vc.resident(); c != nil {
+		c.Exec(label, d, fn)
+	}
 }
 
 // Run runs a prepared guest activity on the resident core.
-func (vc *VCPU) Run(a *machine.Activity) { vc.resident().Run(a) }
+func (vc *VCPU) Run(a *machine.Activity) {
+	if c := vc.resident(); c != nil {
+		c.Run(a)
+	}
+}
 
 // ArmVTimer programs the VM's dedicated virtual timer channel to fire at
 // the absolute time at (the paper's §IV-b: secondaries "must use ... the
@@ -104,6 +113,10 @@ func (vc *VCPU) CancelVTimer() {
 
 // VTimerArmed reports whether the virtual timer has a live deadline.
 func (vc *VCPU) VTimerArmed() bool { return vc.vtArmed }
+
+// VTimerDeadline reports the programmed deadline (meaningful while
+// VTimerArmed reports true).
+func (vc *VCPU) VTimerDeadline() sim.Time { return vc.vtDeadline }
 
 // Yield exits to the primary, leaving the VCPU runnable (FFA_YIELD).
 // Call from guest context with no in-flight guest activity.

@@ -6,6 +6,7 @@ import (
 	"khsim/internal/machine"
 	"khsim/internal/mem"
 	"khsim/internal/mmu"
+	"khsim/internal/sim"
 )
 
 // GuestRAMBase is the IPA where every VM sees its RAM start (mirroring
@@ -76,6 +77,10 @@ type VM struct {
 	mailbox      *Message
 
 	mmio []mem.Region // device windows mapped into this VM
+
+	restarts    int        // watchdog restarts performed so far
+	watchdog    *sim.Event // pending restart, while VMCrashed
+	crashReason string     // why the VM last crashed ("" if never)
 }
 
 // ID reports the VM's identifier.
@@ -89,6 +94,12 @@ func (v *VM) Class() Class { return v.spec.Class }
 
 // State reports the lifecycle state.
 func (v *VM) State() VMState { return v.state }
+
+// Restarts reports how many times the watchdog has restarted the VM.
+func (v *VM) Restarts() int { return v.restarts }
+
+// CrashReason reports why the VM last crashed, or "" if it never did.
+func (v *VM) CrashReason() string { return v.crashReason }
 
 // Spec returns the manifest entry the VM was built from.
 func (v *VM) Spec() VMSpec { return v.spec }

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"khsim/internal/sim"
+)
+
+// TestFaultContainment is the PR's acceptance experiment: a secondary VM
+// crashing and restarting under fault injection must not change the
+// primary's selfish-detour noise profile at all.
+func TestFaultContainment(t *testing.T) {
+	runTime := sim.FromMicros(20000)
+	r, err := RunFaultContainment(42, runTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hyp.Aborts == 0 {
+		t.Fatal("no crashes landed on the victim")
+	}
+	if r.Hyp.Restarts == 0 {
+		t.Fatal("the watchdog never restarted the victim")
+	}
+	if r.Injected.Injected == 0 || len(r.Trace) == 0 {
+		t.Fatal("injector fired nothing")
+	}
+	if !r.Contained() {
+		t.Fatalf("containment failed: baseline %d detours, faulted %d\n%s",
+			r.Baseline.Count(), r.Faulted.Count(), r)
+	}
+	// The detour profiles must match detour-for-detour, not just in count.
+	if !reflect.DeepEqual(r.Baseline.Detours, r.Faulted.Detours) {
+		t.Fatal("primary detour traces differ between quiet and faulted runs")
+	}
+	s := r.String()
+	for _, want := range []string{"contained", "restarts"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFaultContainmentReproducible: the whole experiment — injection
+// trace, hypervisor stats, detour profile — is a pure function of the
+// seed.
+func TestFaultContainmentReproducible(t *testing.T) {
+	runTime := sim.FromMicros(20000)
+	r1, err := RunFaultContainment(7, runTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunFaultContainment(7, runTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Trace, r2.Trace) {
+		t.Fatal("fault traces differ across identically seeded runs")
+	}
+	if !reflect.DeepEqual(r1.Hyp, r2.Hyp) {
+		t.Fatalf("hypervisor stats differ: %+v vs %+v", r1.Hyp, r2.Hyp)
+	}
+	if !reflect.DeepEqual(r1.Faulted.Detours, r2.Faulted.Detours) {
+		t.Fatal("faulted detour traces differ across identically seeded runs")
+	}
+}

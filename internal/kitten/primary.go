@@ -266,7 +266,10 @@ func (k *Primary) VCPUExited(c *machine.Core, vc *hafnium.VCPU, reason hafnium.E
 	case hafnium.ExitStopped, hafnium.ExitAborted:
 		k.taskOff(c, t, TaskDone)
 	default:
-		panic(fmt.Sprintf("kitten: unexpected exit %v", reason))
+		// An exit reason this kernel does not understand parks the thread
+		// instead of taking the node down; VCPUReady revives it if the
+		// VCPU becomes runnable again.
+		k.taskOff(c, t, TaskBlocked)
 	}
 	k.schedule(c)
 }
