@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench
+.PHONY: build test check vet race bench lint
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# lint is the CI formatting/static gate, reproducible locally: gofmt
+# must report no files, and vet must pass.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 
 # check is the full pre-merge gate: build, vet, and the test suite under
 # the race detector.

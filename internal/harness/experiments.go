@@ -2,8 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"khsim/internal/noise"
 	"khsim/internal/sim"
@@ -129,13 +131,65 @@ func NASExperiment(trials int, seed uint64) (*Table, error) {
 		trials, seed)
 }
 
+// runBenchTable fans the independent (spec, config, trial) simulations
+// across goroutines: each trial builds its own engine and nodes, so runs
+// share no state, and the per-trial seeds come from the shared
+// sim.SeedStream so a parallel sweep draws exactly the seeds the
+// sequential order would. Results are reduced in deterministic
+// (spec, config, trial) order, making the output bit-identical to a
+// sequential run regardless of completion order.
 func runBenchTable(title string, specs []workload.Spec, trials int, seed uint64) (*Table, error) {
+	return runBenchTableWith(title, specs, trials, seed, runtime.GOMAXPROCS(0))
+}
+
+func runBenchTableWith(title string, specs []workload.Spec, trials int, seed uint64, workers int) (*Table, error) {
+	type result struct {
+		rate float64
+		err  error
+	}
+	stream := sim.NewSeedStream(seed)
+	n := len(specs) * len(Configs) * trials
+	results := make([]result, n)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				si := idx / (len(Configs) * trials)
+				ci := (idx / trials) % len(Configs)
+				ti := idx % trials
+				res, err := RunWorkload(Configs[ci], specs[si], stream.Seed(ti))
+				results[idx] = result{rate: res.Rate, err: err}
+			}
+		}()
+	}
+	for idx := 0; idx < n; idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Reduce in the sequential order; the first error (in that order) wins.
 	t := newTable(title)
+	idx := 0
 	for _, spec := range specs {
 		for _, cfg := range Configs {
-			s, err := Trials(cfg, spec, trials, seed)
-			if err != nil {
-				return nil, err
+			var s stats.Sample
+			for ti := 0; ti < trials; ti++ {
+				r := results[idx]
+				idx++
+				if r.err != nil {
+					return nil, r.err
+				}
+				s.Add(r.rate)
 			}
 			t.add(spec.Name, spec.Units, cfg, s.Summarize())
 		}

@@ -1,0 +1,87 @@
+package harness
+
+// Golden determinism tests. The hashes below were captured from the
+// pre-substrate implementation (separate kitten/linuxos schedulers), so
+// they pin two properties at once: the substrate refactor preserved
+// behaviour bit-for-bit, and future changes to the shared kernel cannot
+// silently shift the paper's reproduction numbers. If a deliberate
+// behaviour change invalidates them, recapture and say so in the commit.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"khsim/internal/sim"
+	"khsim/internal/workload"
+)
+
+func TestSelfishGolden(t *testing.T) {
+	want := map[Config]struct {
+		count   int
+		elapsed sim.Duration
+		hash    string
+	}{
+		Native:   {20, 2000045027760, "e2b174e023e5f2d5ce3547d4"},
+		KittenVM: {40, 2000212624800, "eb6dd245ade6da9c12d9cf5e"},
+		LinuxVM:  {559, 2009189113789, "da35ef4869ccf8d2f984e279"},
+	}
+	for _, cfg := range Configs {
+		r, err := RunSelfish(cfg, 1, sim.FromSeconds(2))
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		h := sha256.New()
+		for _, d := range r.Detours {
+			fmt.Fprintf(h, "%d %d\n", d.At, d.Duration)
+		}
+		got := fmt.Sprintf("%x", h.Sum(nil)[:12])
+		w := want[cfg]
+		if r.Count() != w.count || r.Elapsed != w.elapsed || got != w.hash {
+			t.Errorf("%v: detours=%d elapsed=%d hash=%s, want detours=%d elapsed=%d hash=%s",
+				cfg, r.Count(), r.Elapsed, got, w.count, w.elapsed, w.hash)
+		}
+	}
+}
+
+func TestMicroGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("27 full workload sims; skipped in -short")
+	}
+	const want = "cf10809ac7071fa0bc93eb30f62212014ef38e7fa74f9a1558d57d0f199c9c92"
+	tb, err := MicroExperiment(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%x", sha256.Sum256([]byte(tb.Format())))
+	if got != want {
+		t.Errorf("MicroExperiment(3,7) hash = %s, want %s\n%s", got, want, tb.Format())
+	}
+}
+
+// TestBenchTableParallelMatchesSequential pins the satellite contract:
+// fanning (config, trial) sims across goroutines must be bit-identical
+// to the sequential order, because every trial gets its seed from the
+// shared sim.SeedStream and engines share no state.
+func TestBenchTableParallelMatchesSequential(t *testing.T) {
+	specs := []workload.Spec{workload.Stream(), workload.GUPS()}
+	seq, err := runBenchTableWith("par-vs-seq", specs, 2, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runBenchTableWith("par-vs-seq", specs, 2, 11, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := seq.Format(), par.Format(); s != p {
+		t.Errorf("parallel table differs from sequential:\nsequential:\n%s\nparallel:\n%s", s, p)
+	}
+	for _, spec := range specs {
+		for _, cfg := range Configs {
+			s, p := seq.Get(spec.Name, cfg), par.Get(spec.Name, cfg)
+			if s != p {
+				t.Errorf("%s/%v: sequential %+v != parallel %+v", spec.Name, cfg, s, p)
+			}
+		}
+	}
+}

@@ -172,8 +172,9 @@ func RunWorkload(cfg Config, spec workload.Spec, seed uint64) (workload.Result, 
 // (in the spec's reporting units).
 func Trials(cfg Config, spec workload.Spec, n int, seedBase uint64) (*stats.Sample, error) {
 	var s stats.Sample
+	stream := sim.NewSeedStream(seedBase)
 	for i := 0; i < n; i++ {
-		res, err := RunWorkload(cfg, spec, seedBase+uint64(i)*7919+1)
+		res, err := RunWorkload(cfg, spec, stream.Seed(i))
 		if err != nil {
 			return nil, err
 		}

@@ -1,4 +1,4 @@
-package linuxos
+package kernel
 
 import (
 	"testing"

@@ -1,0 +1,182 @@
+package kernel_test
+
+// The osapi conformance suite: a probe process runs under each of the
+// paper's three kernel environments — native Kitten, Kitten as Hafnium's
+// primary, Linux as Hafnium's primary — and asserts the process-visible
+// Executor semantics are identical: Main called exactly once, Exec
+// completions in issue order with at least the requested work elapsed,
+// Now monotonic, Run-dispatched activities completing, and Done tearing
+// the task down. This is the contract that lets the paper's workloads be
+// written once and compared across configurations.
+
+import (
+	"testing"
+
+	"khsim/internal/core"
+	"khsim/internal/kernel"
+	"khsim/internal/kitten"
+	"khsim/internal/machine"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+)
+
+const confManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 256
+`
+
+// probe is the conformance process: three chained steps (two Execs and a
+// Run-dispatched activity), recording everything it can observe.
+type probe struct {
+	mainCalls int
+	order     []string
+	times     []sim.Time
+	issued    map[string]sim.Time
+	want      map[string]sim.Duration
+	finished  bool
+}
+
+func (p *probe) Name() string { return "probe" }
+
+func (p *probe) observe(x osapi.Executor, step string) {
+	p.order = append(p.order, step)
+	p.times = append(p.times, x.Now())
+}
+
+func (p *probe) Main(x osapi.Executor) {
+	p.mainCalls++
+	p.issued = map[string]sim.Time{}
+	p.want = map[string]sim.Duration{
+		"a": sim.FromMicros(10),
+		"b": sim.FromMicros(3),
+		"c": sim.FromMicros(5),
+	}
+	p.observe(x, "main")
+	p.issued["a"] = x.Now()
+	x.Exec("probe.a", p.want["a"], func() {
+		p.observe(x, "a")
+		p.issued["b"] = x.Now()
+		x.Exec("probe.b", p.want["b"], func() {
+			p.observe(x, "b")
+			p.issued["c"] = x.Now()
+			x.Run(&machine.Activity{
+				Label:     "probe.c",
+				Remaining: p.want["c"],
+				OnComplete: func() {
+					p.observe(x, "c")
+					p.finished = true
+					x.Done()
+				},
+			})
+		})
+	})
+}
+
+// check asserts the probe saw identical semantics in every environment.
+func (p *probe) check(t *testing.T, env string) {
+	t.Helper()
+	if p.mainCalls != 1 {
+		t.Fatalf("%s: Main called %d times, want 1", env, p.mainCalls)
+	}
+	wantOrder := []string{"main", "a", "b", "c"}
+	if len(p.order) != len(wantOrder) {
+		t.Fatalf("%s: steps %v, want %v", env, p.order, wantOrder)
+	}
+	for i, s := range wantOrder {
+		if p.order[i] != s {
+			t.Fatalf("%s: step[%d] = %q, want %q (order %v)", env, i, p.order[i], s, p.order)
+		}
+	}
+	for i := 1; i < len(p.times); i++ {
+		if p.times[i] < p.times[i-1] {
+			t.Fatalf("%s: Now went backwards: %v after %v (step %q)",
+				env, p.times[i], p.times[i-1], p.order[i])
+		}
+	}
+	// Each step completes no earlier than issue time + requested work
+	// (noise can only add time, never remove it).
+	for i, s := range p.order {
+		if s == "main" {
+			continue
+		}
+		if got, issued := p.times[i], p.issued[s]; got.Sub(issued) < p.want[s] {
+			t.Fatalf("%s: step %q elapsed %v, want >= %v", env, s, got.Sub(issued), p.want[s])
+		}
+	}
+	if !p.finished {
+		t.Fatalf("%s: probe did not finish", env)
+	}
+}
+
+// checkTeardown asserts Done left the task terminated and the core free.
+func checkTeardown(t *testing.T, env string, task *kernel.Task, current *kernel.Task) {
+	t.Helper()
+	if task.State() != kernel.TaskDone {
+		t.Fatalf("%s: task state %v after Done, want done", env, task.State())
+	}
+	if current == task {
+		t.Fatalf("%s: finished task still current", env)
+	}
+}
+
+func TestExecutorConformance(t *testing.T) {
+	const seed = 42
+	horizon := sim.FromSeconds(1)
+
+	t.Run("native-kitten", func(t *testing.T) {
+		p := &probe{}
+		n, err := core.NewNativeNode(seed, kitten.Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := n.Kernel.Spawn(p.Name(), 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(horizon)
+		p.check(t, "native-kitten")
+		checkTeardown(t, "native-kitten", task, n.Kernel.Current(0))
+	})
+
+	t.Run("kitten-primary", func(t *testing.T) {
+		p := &probe{}
+		n, err := core.NewSecureNode(core.Options{
+			Seed: seed, Manifest: confManifest, Scheduler: core.SchedulerKitten,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := n.KittenPrimary.Spawn(p.Name(), 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		n.Run(horizon)
+		p.check(t, "kitten-primary")
+		checkTeardown(t, "kitten-primary", task, n.KittenPrimary.Current(0))
+	})
+
+	t.Run("linux-primary", func(t *testing.T) {
+		p := &probe{}
+		n, err := core.NewSecureNode(core.Options{
+			Seed: seed, Manifest: confManifest, Scheduler: core.SchedulerLinux,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := n.LinuxPrimary.Spawn(p.Name(), 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		n.Run(horizon)
+		p.check(t, "linux-primary")
+		checkTeardown(t, "linux-primary", task, n.LinuxPrimary.Current(0))
+	})
+}

@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"khsim/internal/hafnium"
+	"khsim/internal/machine"
+	"khsim/internal/sim"
+)
+
+// controlTask is the paper's §IV-a control process: it drains the
+// mailbox and executes job-control commands from the super-secondary.
+// Commands: "stop <vm>", "start <vm>", "status <vm>". Replies go back to
+// the sender's mailbox when it can receive them.
+func (k *Kernel) controlTask(c *machine.Core) {
+	msg, err := k.h.RecvForPrimary()
+	if err != nil {
+		return
+	}
+	if k.OnMessage != nil {
+		k.OnMessage(msg)
+		return
+	}
+	k.ExecuteCommand(msg)
+}
+
+// ExecuteCommand runs one job-control command and replies to the sender.
+// Unknown commands are counted and traced (kind "kernel.badcmd") rather
+// than dropped on the floor.
+func (k *Kernel) ExecuteCommand(msg hafnium.Message) {
+	cmd, arg, _ := cutCommand(string(msg.Payload))
+	k.commands++
+	reply := func(s string) {
+		// Best effort: the sender may have a full mailbox.
+		_ = k.h.SendFromPrimary(msg.From, []byte(s))
+	}
+	vm, ok := k.h.VMByName(arg)
+	if !ok && cmd != "" && arg != "" {
+		reply("error: no vm " + arg)
+		return
+	}
+	switch cmd {
+	case "stop":
+		if err := k.h.StopVM(vm.ID()); err != nil {
+			reply("error: " + err.Error())
+			return
+		}
+		reply("ok: stopped " + arg)
+	case "start":
+		if err := k.h.RestartVM(vm.ID()); err != nil {
+			reply("error: " + err.Error())
+			return
+		}
+		reply("ok: started " + arg)
+	case "status":
+		reply("ok: " + arg + " is " + vm.State().String())
+	default:
+		k.badCommands++
+		k.node.Trace.Add(sim.Record{
+			At: k.node.Now(), Core: -1, Kind: "kernel.badcmd", Note: cmd,
+		})
+		reply("error: unknown command " + cmd)
+	}
+}
+
+func cutCommand(s string) (cmd, arg string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}

@@ -1,0 +1,175 @@
+package kernel
+
+import (
+	"khsim/internal/gic"
+	"khsim/internal/hafnium"
+	"khsim/internal/machine"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+)
+
+// GuestConfig parameterizes the shared guest-kernel substrate: labels and
+// handler costs, plus two hooks for policy-specific noise (the Linux
+// guest's deferred kthread work).
+type GuestConfig struct {
+	// Label prefixes Exec labels: "<label>.tick", "<label>.notify",
+	// "<label>.mbox", "<label>.dev".
+	Label string
+	// TickHz drives the VM's dedicated virtual timer.
+	TickHz sim.Hertz
+	// TickCost is the base tick handler cost.
+	TickCost sim.Duration
+	// NotifyCost is charged per doorbell notification.
+	NotifyCost sim.Duration
+	// MboxCost is charged per mailbox message handled.
+	MboxCost sim.Duration
+	// DevCost is the default per-device-interrupt cost when the Guest's
+	// DeviceIRQCost override is unset.
+	DevCost sim.Duration
+	// IdleLoop keeps VCPUs with no attached process ticking (Linux's
+	// login-VM role) instead of blocking them for good (the LWK job
+	// model, where a VCPU without work parks itself).
+	IdleLoop bool
+	// BootWork, if set, runs at each VCPU boot before the first tick is
+	// armed (the Linux guest seeds its deferred-work schedule here).
+	BootWork func(now sim.Time)
+	// TickWork, if set, reports extra work due at a tick (the Linux
+	// guest's kthread activations, drawn at IRQ time).
+	TickWork func(now sim.Time) sim.Duration
+}
+
+// Guest is the shared guest-kernel substrate: tick plumbing, the four
+// VIRQ handlers, per-VCPU workload processes, and the osapi.Executor
+// they run under.
+type Guest struct {
+	cfg GuestConfig
+
+	// procs maps VCPU index to the workload it runs.
+	procs map[int]osapi.Process
+
+	// OnMessage, if set, handles mailbox messages (the job-control side).
+	OnMessage func(vc *hafnium.VCPU, msg hafnium.Message)
+	// OnDeviceIRQ, if set, handles forwarded device interrupts (drivers).
+	OnDeviceIRQ func(vc *hafnium.VCPU, virq int)
+	// OnNotification, if set, handles doorbell notifications (shared-
+	// memory channels signalling progress).
+	OnNotification func(vc *hafnium.VCPU)
+	// DeviceIRQCost overrides the per-device-interrupt cost.
+	DeviceIRQCost sim.Duration
+
+	ticks   uint64
+	devirqs uint64
+	done    map[int]bool
+	running map[int]bool
+}
+
+// NewGuest builds a guest kernel from its cost table.
+func NewGuest(cfg GuestConfig) *Guest {
+	return &Guest{
+		cfg:     cfg,
+		procs:   make(map[int]osapi.Process),
+		done:    make(map[int]bool),
+		running: make(map[int]bool),
+	}
+}
+
+// Attach assigns a workload process to VCPU index vcpu.
+func (g *Guest) Attach(vcpu int, p osapi.Process) { g.procs[vcpu] = p }
+
+// Ticks reports guest timer ticks handled.
+func (g *Guest) Ticks() uint64 { return g.ticks }
+
+// DeviceIRQs reports forwarded device interrupts handled.
+func (g *Guest) DeviceIRQs() uint64 { return g.devirqs }
+
+// Done reports whether the workload on a VCPU has finished.
+func (g *Guest) Done(vcpu int) bool { return g.done[vcpu] }
+
+// Boot implements hafnium.GuestOS.
+func (g *Guest) Boot(vc *hafnium.VCPU) {
+	if g.cfg.BootWork != nil {
+		g.cfg.BootWork(vc.Now())
+	}
+	vc.ArmVTimerAfter(g.cfg.TickHz.Period())
+	p := g.procs[vc.Index()]
+	if p == nil && !g.cfg.IdleLoop {
+		// LWK job model: a VCPU with no work parks itself for good.
+		vc.CancelVTimer()
+		vc.Block()
+		return
+	}
+	g.running[vc.Index()] = true
+	if p != nil {
+		p.Main(&guestExec{g: g, vc: vc})
+	}
+	// IdleLoop with no process: the VM idles, waking for ticks, messages
+	// and device interrupts.
+}
+
+// HandleVIRQ implements hafnium.GuestOS.
+func (g *Guest) HandleVIRQ(vc *hafnium.VCPU, virq int) {
+	switch {
+	case virq == gic.IRQVirtualTimer:
+		g.tick(vc)
+	case virq == hafnium.VIRQNotification:
+		vc.Exec(g.cfg.Label+".notify", g.cfg.NotifyCost, func() {
+			if g.OnNotification != nil {
+				g.OnNotification(vc)
+			}
+		})
+	case virq == hafnium.VIRQMailbox:
+		vc.Exec(g.cfg.Label+".mbox", g.cfg.MboxCost, func() {
+			if msg, err := vc.ReceiveMessage(); err == nil && g.OnMessage != nil {
+				g.OnMessage(vc, msg)
+			}
+		})
+	default:
+		cost := g.DeviceIRQCost
+		if cost == 0 {
+			cost = g.cfg.DevCost
+		}
+		g.devirqs++
+		vc.Exec(g.cfg.Label+".dev", cost, func() {
+			if g.OnDeviceIRQ != nil {
+				g.OnDeviceIRQ(vc, virq)
+			}
+		})
+	}
+}
+
+// tick is the in-guest tick: base handler cost plus any policy work due
+// (drawn at IRQ time so noise RNG streams advance deterministically).
+func (g *Guest) tick(vc *hafnium.VCPU) {
+	cost := g.cfg.TickCost
+	if g.cfg.TickWork != nil {
+		cost += g.cfg.TickWork(vc.Now())
+	}
+	vc.Exec(g.cfg.Label+".tick", cost, func() {
+		g.ticks++
+		if g.running[vc.Index()] {
+			vc.ArmVTimerAfter(g.cfg.TickHz.Period())
+		}
+	})
+}
+
+// guestExec adapts a VCPU to osapi.Executor.
+type guestExec struct {
+	g  *Guest
+	vc *hafnium.VCPU
+}
+
+func (e *guestExec) Exec(label string, d sim.Duration, fn func()) {
+	e.vc.Exec(label, d, fn)
+}
+
+func (e *guestExec) Run(a *machine.Activity) { e.vc.Run(a) }
+
+func (e *guestExec) Now() sim.Time { return e.vc.Now() }
+
+func (e *guestExec) Done() {
+	e.g.done[e.vc.Index()] = true
+	e.g.running[e.vc.Index()] = false
+	// Quiesce: no more ticks, give the core back for good.
+	e.vc.CancelVTimer()
+	e.vc.Block()
+}

@@ -1,0 +1,66 @@
+package kernel
+
+import (
+	"khsim/internal/machine"
+	"khsim/internal/sim"
+)
+
+// Config is the substrate's cost table: everything label- or cost-shaped
+// that differs between kernels but is not scheduling policy.
+type Config struct {
+	// Label prefixes the substrate's Exec labels: "<label>.fwd",
+	// "<label>.irq", "<label>.ctxsw" (and the policies' "<label>.tick").
+	Label string
+	// CtxSwitch is a full context switch through the scheduler.
+	CtxSwitch sim.Duration
+	// MboxLabel and MboxCost describe the mailbox/control-task handler
+	// ("kitten.control" at Kitten's control-op cost, "linux.mbox" at
+	// 3 context switches).
+	MboxLabel string
+	MboxCost  sim.Duration
+	// EvictPages estimates guest-TLB entries one activation evicts.
+	EvictPages int
+}
+
+// Policy is the pluggable scheduling policy under the substrate. The
+// substrate owns task lifecycle, the Hafnium protocol, and dispatch; the
+// policy owns queue order, tick cadence and accounting, and background
+// threads. Implementations live in this package (RoundRobin, CFSPolicy)
+// and may reach into the Kernel's unexported state.
+type Policy interface {
+	// Attach binds the policy to its kernel at construction time (before
+	// Boot; RNG streams are split here so seeding is position-independent).
+	Attach(k *Kernel)
+	// Boot arms timers and creates background threads. The substrate
+	// flips started and kicks idle cores afterwards.
+	Boot(k *Kernel)
+	// OnTick handles a physical-timer IRQ in primary mode: charge handler
+	// cost, account the quantum, rotate/preempt or resume.
+	OnTick(k *Kernel, c *machine.Core)
+	// OnTickNative is OnTick for bare-metal mode, with the GIC delivery
+	// cost (exception entry + acknowledge) to fold into the handler.
+	OnTickNative(k *Kernel, c *machine.Core, entry sim.Duration)
+
+	// Enqueue admits a brand-new runnable task.
+	Enqueue(t *Task)
+	// PickNext removes and returns the core's next runnable task, nil if
+	// none. A non-nil pick the substrate rejects is returned via Unpick.
+	PickNext(core int) *Task
+	// Unpick drops a stale pick (its task blocked or died while queued).
+	Unpick(core int, t *Task)
+	// Requeue returns the core's descheduled current task to the queue.
+	Requeue(core int, t *Task)
+	// Block takes the core's current task off the CPU without requeueing.
+	Block(core int, t *Task)
+	// OnWake makes a non-current task runnable (doorbell, VCPU ready).
+	OnWake(t *Task)
+	// Remove drops a non-current task entirely (its VM died).
+	Remove(t *Task)
+
+	// RunKthread dispatches one fresh activation of a policy-owned
+	// background thread (saved frames are restored by the substrate).
+	RunKthread(k *Kernel, c *machine.Core, t *Task)
+	// TimesliceFor reports the nominal timeslice the policy would grant
+	// the task right now (advisory: diagnostics and tests).
+	TimesliceFor(t *Task) sim.Duration
+}

@@ -1,140 +1,32 @@
 package kitten
 
-import (
-	"khsim/internal/gic"
-	"khsim/internal/hafnium"
-	"khsim/internal/machine"
-	"khsim/internal/osapi"
-	"khsim/internal/sim"
-)
+import "khsim/internal/kernel"
 
 // Guest is Kitten running inside a Hafnium secondary VM — the environment
-// the paper's benchmarks execute in (§IV-b). It keeps the LWK's low tick
-// rate, driven by the VM's dedicated virtual timer, and runs a single
-// workload process per VCPU (the LWK job model).
+// the paper's benchmarks execute in (§IV-b). It is the shared guest
+// substrate with the LWK's cost table: a low tick rate driven by the
+// VM's dedicated virtual timer, a single workload process per VCPU (the
+// LWK job model, so process-less VCPUs park for good), and no background
+// noise at all.
 type Guest struct {
+	*kernel.Guest
 	p Params
-
-	// procs maps VCPU index to the workload it runs. VCPUs with no
-	// process block immediately.
-	procs map[int]osapi.Process
-
-	// OnMessage, if set, handles mailbox messages (used when a Kitten
-	// guest plays the job-submission side in tests).
-	OnMessage func(vc *hafnium.VCPU, msg hafnium.Message)
-
-	// OnDeviceIRQ, if set, handles forwarded device interrupts.
-	OnDeviceIRQ func(vc *hafnium.VCPU, virq int)
-
-	// OnNotification, if set, handles doorbell notifications (shared-
-	// memory channels signalling progress).
-	OnNotification func(vc *hafnium.VCPU)
-
-	// DeviceIRQCost is charged per forwarded device interrupt handled.
-	DeviceIRQCost sim.Duration
-
-	ticks   uint64
-	done    map[int]bool
-	running map[int]bool
 }
 
 // NewGuest builds a Kitten guest kernel with the given parameters.
 func NewGuest(p Params) *Guest {
 	return &Guest{
-		p:       p,
-		procs:   make(map[int]osapi.Process),
-		done:    make(map[int]bool),
-		running: make(map[int]bool),
+		Guest: kernel.NewGuest(kernel.GuestConfig{
+			Label:      "kitten.guest",
+			TickHz:     p.TickHz,
+			TickCost:   p.TickCost,
+			NotifyCost: p.CtxSwitch / 2,
+			MboxCost:   p.ControlCost,
+			DevCost:    p.CtxSwitch,
+		}),
+		p: p,
 	}
 }
 
-// Attach assigns a workload process to VCPU index vcpu.
-func (g *Guest) Attach(vcpu int, p osapi.Process) { g.procs[vcpu] = p }
-
-// Ticks reports guest timer ticks handled.
-func (g *Guest) Ticks() uint64 { return g.ticks }
-
-// Done reports whether the workload on a VCPU has finished.
-func (g *Guest) Done(vcpu int) bool { return g.done[vcpu] }
-
-// Boot implements hafnium.GuestOS.
-func (g *Guest) Boot(vc *hafnium.VCPU) {
-	vc.ArmVTimerAfter(g.p.TickHz.Period())
-	p := g.procs[vc.Index()]
-	if p == nil {
-		vc.CancelVTimer()
-		vc.Block()
-		return
-	}
-	g.running[vc.Index()] = true
-	p.Main(&guestExec{g: g, vc: vc})
-}
-
-// HandleVIRQ implements hafnium.GuestOS.
-func (g *Guest) HandleVIRQ(vc *hafnium.VCPU, virq int) {
-	switch {
-	case virq == gic.IRQVirtualTimer:
-		vc.Exec("kitten.guest.tick", g.p.TickCost, func() {
-			g.ticks++
-			if g.running[vc.Index()] {
-				vc.ArmVTimerAfter(g.p.TickHz.Period())
-			}
-			g.settle(vc)
-		})
-	case virq == hafnium.VIRQNotification:
-		vc.Exec("kitten.guest.notify", g.p.CtxSwitch/2, func() {
-			if g.OnNotification != nil {
-				g.OnNotification(vc)
-			}
-			g.settle(vc)
-		})
-	case virq == hafnium.VIRQMailbox:
-		vc.Exec("kitten.guest.mbox", g.p.ControlCost, func() {
-			if msg, err := vc.ReceiveMessage(); err == nil && g.OnMessage != nil {
-				g.OnMessage(vc, msg)
-			}
-			g.settle(vc)
-		})
-	default:
-		cost := g.DeviceIRQCost
-		if cost == 0 {
-			cost = g.p.CtxSwitch
-		}
-		vc.Exec("kitten.guest.dev", cost, func() {
-			if g.OnDeviceIRQ != nil {
-				g.OnDeviceIRQ(vc, virq)
-			}
-			g.settle(vc)
-		})
-	}
-}
-
-// settle blocks the VCPU when the workload is gone and nothing else will
-// run (handler frames resume suspended work automatically otherwise).
-func (g *Guest) settle(vc *hafnium.VCPU) {
-	// Nothing to do: if a workload activity is suspended beneath us it
-	// resumes via the core's suspension stack; if not, the core idles and
-	// Hafnium converts that into an implicit block.
-}
-
-// guestExec adapts a VCPU to osapi.Executor.
-type guestExec struct {
-	g  *Guest
-	vc *hafnium.VCPU
-}
-
-func (e *guestExec) Exec(label string, d sim.Duration, fn func()) {
-	e.vc.Exec(label, d, fn)
-}
-
-func (e *guestExec) Run(a *machine.Activity) { e.vc.Run(a) }
-
-func (e *guestExec) Now() sim.Time { return e.vc.Now() }
-
-func (e *guestExec) Done() {
-	e.g.done[e.vc.Index()] = true
-	e.g.running[e.vc.Index()] = false
-	// Quiesce: no more ticks, give the core back for good.
-	e.vc.CancelVTimer()
-	e.vc.Block()
-}
+// Params returns the guest kernel's configuration.
+func (g *Guest) Params() Params { return g.p }

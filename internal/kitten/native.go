@@ -1,170 +1,37 @@
 package kitten
 
 import (
-	"fmt"
-
-	"khsim/internal/gic"
+	"khsim/internal/kernel"
 	"khsim/internal/machine"
-	"khsim/internal/osapi"
-	"khsim/internal/sim"
-	"khsim/internal/timer"
 )
 
 // Native is Kitten running bare-metal on the node (the paper's baseline
-// configuration): it owns the physical GIC and timers directly, with no
-// hypervisor underneath.
+// configuration): the shared substrate under the round-robin policy,
+// owning the physical GIC and timers directly, with no hypervisor
+// underneath.
 type Native struct {
-	node    *machine.Node
-	p       Params
-	rq      []runqueue
-	current []*Task
-	started bool
-
-	ticks uint64
+	*kernel.Kernel
+	p Params
 }
 
 // NewNative builds a native Kitten over the node.
 func NewNative(node *machine.Node, p Params) *Native {
+	pol := &kernel.RoundRobin{
+		TickHz:       p.TickHz,
+		TickCost:     p.TickCost,
+		QuantumTicks: p.QuantumTicks,
+	}
 	return &Native{
-		node:    node,
-		p:       p,
-		rq:      make([]runqueue, len(node.Cores)),
-		current: make([]*Task, len(node.Cores)),
+		Kernel: kernel.NewNative(node, pol, kernel.Config{
+			Label:      "kitten",
+			CtxSwitch:  p.CtxSwitch,
+			MboxLabel:  "kitten.control",
+			MboxCost:   p.ControlCost,
+			EvictPages: p.EvictPages,
+		}),
+		p: p,
 	}
 }
 
 // Params returns the kernel's configuration.
 func (k *Native) Params() Params { return k.p }
-
-// Ticks reports the number of timer ticks handled.
-func (k *Native) Ticks() uint64 { return k.ticks }
-
-// Current reports the task running on a core, if any.
-func (k *Native) Current(core int) *Task { return k.current[core] }
-
-// Spawn creates a process task pinned to core. Before Start it only
-// enqueues; afterwards an idle core picks it up immediately.
-func (k *Native) Spawn(name string, core int, p osapi.Process) (*Task, error) {
-	if core < 0 || core >= len(k.node.Cores) {
-		return nil, fmt.Errorf("kitten: spawn %q on bad core %d", name, core)
-	}
-	t := &Task{name: name, core: core, proc: p, state: TaskReady}
-	k.rq[core].push(t)
-	if k.started && k.current[core] == nil {
-		k.schedule(k.node.Cores[core])
-	}
-	return t, nil
-}
-
-// Start boots the kernel: interrupt plumbing, a staggered tick on every
-// core, and an initial scheduling pass.
-func (k *Native) Start() error {
-	if k.started {
-		return fmt.Errorf("kitten: already started")
-	}
-	d := k.node.GIC
-	if err := d.Enable(gic.IRQPhysTimer); err != nil {
-		return err
-	}
-	d.SetPriority(gic.IRQPhysTimer, 0x20)
-	period := k.p.TickHz.Period()
-	for _, c := range k.node.Cores {
-		c := c
-		c.SetDispatcher(k.dispatch)
-		c.SetOnIdle(func(c *machine.Core) { k.schedule(c) })
-		// Stagger ticks across cores as Kitten does, so all cores do not
-		// tick in lockstep.
-		offset := sim.Duration(uint64(period) * uint64(c.ID()) / uint64(len(k.node.Cores)))
-		k.node.Timers.Core(c.ID()).Arm(timer.Phys, k.node.Now().Add(period+offset))
-	}
-	k.started = true
-	for _, c := range k.node.Cores {
-		if k.current[c.ID()] == nil {
-			k.schedule(c)
-		}
-	}
-	return nil
-}
-
-// dispatch is the native interrupt entry: acknowledge, handle, EOI.
-func (k *Native) dispatch(c *machine.Core) {
-	irq := k.node.GIC.Acknowledge(c.ID())
-	if irq == gic.SpuriousIRQ {
-		return
-	}
-	k.node.GIC.EOI(c.ID(), irq)
-	entry := k.node.Costs.ExceptionEntry + k.node.Costs.IRQDeliverGIC
-	switch irq {
-	case gic.IRQPhysTimer:
-		c.Exec("kitten.tick", entry+k.p.TickCost, func() { k.tick(c) })
-	default:
-		// Kitten has no drivers to speak of; unknown IRQs are counted and
-		// dropped (device IRQs never target a native LWK in the paper).
-		c.Exec("kitten.irq", entry, nil)
-	}
-}
-
-// tick runs at the end of the tick handler: re-arm and round-robin.
-func (k *Native) tick(c *machine.Core) {
-	k.ticks++
-	k.node.Timers.Core(c.ID()).ArmAfter(timer.Phys, k.p.TickHz.Period())
-	id := c.ID()
-	cur := k.current[id]
-	if cur == nil {
-		return
-	}
-	cur.ran++
-	if cur.ran < k.p.QuantumTicks || k.rq[id].len() == 0 {
-		return // quantum continues; the preempted activity auto-resumes
-	}
-	if c.Depth() != 1 {
-		// The tick interrupted a nested handler chain; rotating now would
-		// orphan the inner frames. Defer to the next tick.
-		return
-	}
-	// Quantum expired with a waiting task: rotate.
-	cur.saved = c.StealSuspended()
-	cur.state = TaskReady
-	cur.ran = 0
-	k.rq[id].push(cur)
-	k.current[id] = nil
-	c.Exec("kitten.ctxsw", k.p.CtxSwitch, func() { k.schedule(c) })
-}
-
-// schedule gives the core to the next ready task, if any.
-func (k *Native) schedule(c *machine.Core) {
-	id := c.ID()
-	if k.current[id] != nil {
-		return
-	}
-	t := k.rq[id].pop()
-	if t == nil {
-		return
-	}
-	k.current[id] = t
-	t.state = TaskRunning
-	k.runTask(c, t)
-}
-
-func (k *Native) runTask(c *machine.Core, t *Task) {
-	if !t.started {
-		t.started = true
-		t.proc.Main(&procExec{core: c, done: func() { k.taskDone(c, t) }})
-		return
-	}
-	if t.saved != nil {
-		a := t.saved
-		t.saved = nil
-		c.ResumeStolen(a)
-	}
-	// A task with no saved activity resumes by its own continuations
-	// (nothing to do here).
-}
-
-func (k *Native) taskDone(c *machine.Core, t *Task) {
-	t.state = TaskDone
-	if k.current[c.ID()] == t {
-		k.current[c.ID()] = nil
-	}
-	k.schedule(c)
-}

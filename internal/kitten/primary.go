@@ -1,412 +1,40 @@
 package kitten
 
 import (
-	"fmt"
-
-	"khsim/internal/gic"
 	"khsim/internal/hafnium"
-	"khsim/internal/machine"
-	"khsim/internal/osapi"
-	"khsim/internal/sim"
-	"khsim/internal/timer"
+	"khsim/internal/kernel"
 )
 
 // Primary is Kitten deployed as Hafnium's primary scheduling VM — the
-// paper's core contribution (§III-a, §IV-a). It schedules VCPU kernel
-// threads and ordinary processes with the same low-noise round-robin
-// policy as the native kernel, issues the core-local RUN hypercall to
-// enter guests, runs the job-control "control task", and forwards device
-// interrupts to the super-secondary login VM.
+// paper's core contribution (§III-a, §IV-a). It is the shared kernel
+// substrate under the cooperative round-robin policy: VCPU kernel
+// threads and ordinary processes scheduled with the same low-noise
+// policy as the native kernel, the core-local RUN hypercall to enter
+// guests, the job-control "control task", and device-interrupt
+// forwarding to the super-secondary login VM.
 type Primary struct {
-	node *machine.Node
-	h    *hafnium.Hypervisor
-	p    Params
-
-	rq      []runqueue
-	current []*Task
-	vcTask  map[*hafnium.VCPU]*Task
-	started bool
-
-	// OnMessage, if set, overrides the built-in control-task command
-	// handler for mailbox messages.
-	OnMessage func(msg hafnium.Message)
-
-	ticks    uint64
-	forwards uint64
+	*kernel.Kernel
+	p Params
 }
 
 // NewPrimary builds the primary kernel over a hypervisor instance.
 func NewPrimary(h *hafnium.Hypervisor, p Params) *Primary {
-	node := h.Node()
+	pol := &kernel.RoundRobin{
+		TickHz:       p.TickHz,
+		TickCost:     p.TickCost,
+		QuantumTicks: p.QuantumTicks,
+	}
 	return &Primary{
-		node:    node,
-		h:       h,
-		p:       p,
-		rq:      make([]runqueue, len(node.Cores)),
-		current: make([]*Task, len(node.Cores)),
-		vcTask:  make(map[*hafnium.VCPU]*Task),
+		Kernel: kernel.NewPrimary(h, pol, kernel.Config{
+			Label:      "kitten",
+			CtxSwitch:  p.CtxSwitch,
+			MboxLabel:  "kitten.control",
+			MboxCost:   p.ControlCost,
+			EvictPages: p.EvictPages,
+		}),
+		p: p,
 	}
 }
 
 // Params returns the kernel configuration.
 func (k *Primary) Params() Params { return k.p }
-
-// Ticks reports handled scheduler ticks.
-func (k *Primary) Ticks() uint64 { return k.ticks }
-
-// Forwards reports device IRQs forwarded to the super-secondary.
-func (k *Primary) Forwards() uint64 { return k.forwards }
-
-// Current reports the task owning a core (for a resident guest, its VCPU
-// thread).
-func (k *Primary) Current(core int) *Task { return k.current[core] }
-
-// Task reports the kernel thread backing a VCPU.
-func (k *Primary) Task(vc *hafnium.VCPU) *Task { return k.vcTask[vc] }
-
-// AddVM creates one kernel thread per VCPU of vm. VCPUs "are spread
-// across available CPU cores incrementally" (§IV-a) unless explicit
-// assignments are given.
-func (k *Primary) AddVM(vm *hafnium.VM, cores ...int) error {
-	n := vm.VCPUs()
-	if len(cores) != 0 && len(cores) != n {
-		return fmt.Errorf("kitten: AddVM(%s): %d cores for %d vcpus", vm.Name(), len(cores), n)
-	}
-	for i := 0; i < n; i++ {
-		core := i % len(k.node.Cores)
-		if len(cores) != 0 {
-			core = cores[i]
-		}
-		if core < 0 || core >= len(k.node.Cores) {
-			return fmt.Errorf("kitten: AddVM(%s): bad core %d", vm.Name(), core)
-		}
-		vc := vm.VCPU(i)
-		t := &Task{
-			name:  fmt.Sprintf("vcpu-%s.%d", vm.Name(), i),
-			core:  core,
-			vc:    vc,
-			state: TaskReady,
-		}
-		k.vcTask[vc] = t
-		k.rq[core].push(t)
-		if k.started && k.current[core] == nil {
-			k.schedule(k.node.Cores[core])
-		}
-	}
-	return nil
-}
-
-// Spawn creates an ordinary process task (e.g. a primary-side benchmark).
-func (k *Primary) Spawn(name string, core int, p osapi.Process) (*Task, error) {
-	if core < 0 || core >= len(k.node.Cores) {
-		return nil, fmt.Errorf("kitten: spawn %q on bad core %d", name, core)
-	}
-	t := &Task{name: name, core: core, proc: p, state: TaskReady}
-	k.rq[core].push(t)
-	if k.started && k.current[core] == nil {
-		k.schedule(k.node.Cores[core])
-	}
-	return t, nil
-}
-
-// Boot implements hafnium.PrimaryOS: arm ticks and start scheduling.
-func (k *Primary) Boot() {
-	period := k.p.TickHz.Period()
-	for _, c := range k.node.Cores {
-		offset := sim.Duration(uint64(period) * uint64(c.ID()) / uint64(len(k.node.Cores)))
-		k.node.Timers.Core(c.ID()).Arm(timer.Phys, k.node.Now().Add(period+offset))
-	}
-	k.started = true
-	for _, c := range k.node.Cores {
-		if k.current[c.ID()] == nil {
-			k.schedule(c)
-		}
-	}
-}
-
-// EvictionPages implements hafnium.PrimaryOS.
-func (k *Primary) EvictionPages() int { return k.p.EvictPages }
-
-// HandleIRQ implements hafnium.PrimaryOS: the primary's interrupt work.
-// Hafnium has already charged trap and (if a guest was resident) world
-// switch costs; the preempted VCPU, if any, is k.h.Preempted(c).
-func (k *Primary) HandleIRQ(c *machine.Core, irq int) {
-	pre := k.h.Preempted(c)
-	if pre != nil {
-		// Sanity: the displaced guest must be our current task's VCPU.
-		if t := k.vcTask[pre]; t != k.current[c.ID()] {
-			panic(fmt.Sprintf("kitten: preempted %v is not current %v", pre, k.current[c.ID()]))
-		}
-	}
-	switch {
-	case irq == gic.IRQPhysTimer:
-		c.Exec("kitten.tick", k.p.TickCost, func() { k.tick(c) })
-	case irq == hafnium.VIRQMailbox:
-		c.Exec("kitten.control", k.p.ControlCost, func() {
-			k.controlTask(c)
-			k.resume(c)
-		})
-	case gic.ClassOf(irq) == gic.SPI:
-		// Device interrupt: the paper's current routing — "route all
-		// interrupts to the primary VM which is then responsible for
-		// forwarding any device IRQ on to the super-secondary".
-		c.Exec("kitten.fwd", k.p.CtxSwitch, func() {
-			if super := k.h.Super(); super != nil {
-				if err := k.h.InjectDeviceIRQ(super.ID(), irq); err == nil {
-					k.forwards++
-				}
-			}
-			k.resume(c)
-		})
-	default:
-		// Stray SGI/PPI: count nothing, just resume.
-		c.Exec("kitten.irq", k.p.CtxSwitch/2, func() { k.resume(c) })
-	}
-}
-
-// tick: re-arm, account the quantum, rotate or resume.
-func (k *Primary) tick(c *machine.Core) {
-	k.ticks++
-	k.node.Timers.Core(c.ID()).ArmAfter(timer.Phys, k.p.TickHz.Period())
-	id := c.ID()
-	cur := k.current[id]
-	if cur == nil {
-		k.schedule(c)
-		return
-	}
-	cur.ran++
-	// Rotation is only legal when the displaced context is fully in hand:
-	// a VCPU's state lives in Hafnium (depth 0 here), a process's single
-	// frame on the suspension stack (depth 1). A deeper stack means the
-	// tick landed inside a nested handler chain — defer rotation.
-	canRotate := (cur.vc != nil && c.Depth() == 0) || (cur.vc == nil && c.Depth() == 1)
-	if cur.ran >= k.p.QuantumTicks && k.rq[id].len() > 0 && canRotate {
-		k.deschedule(c, cur)
-		c.Exec("kitten.ctxsw", k.p.CtxSwitch, func() { k.schedule(c) })
-		return
-	}
-	k.resume(c)
-}
-
-// resume continues the current task after primary-side interrupt work.
-func (k *Primary) resume(c *machine.Core) {
-	cur := k.current[c.ID()]
-	if cur == nil {
-		k.schedule(c)
-		return
-	}
-	if cur.vc != nil {
-		if c.Depth() != 0 {
-			// An interrupted handler frame is still suspended; it resumes
-			// first and its completion path re-enters the guest.
-			return
-		}
-		// Re-enter the guest. It can have stopped/blocked underneath us
-		// (StopVM from the control task, abort on another core).
-		switch cur.vc.State() {
-		case hafnium.VCPURunnable:
-			if err := k.h.RunVCPU(c, cur.vc); err != nil {
-				k.taskOff(c, cur, TaskBlocked)
-				k.schedule(c)
-			}
-		case hafnium.VCPURunning:
-			// Already resident (the IRQ hit between bookkeeping steps).
-		default:
-			k.taskOff(c, cur, TaskBlocked)
-			k.schedule(c)
-		}
-		return
-	}
-	// Process task: its activity is still suspended beneath the handler
-	// frames and resumes automatically.
-}
-
-// deschedule moves the current task back to the ready queue.
-func (k *Primary) deschedule(c *machine.Core, cur *Task) {
-	id := c.ID()
-	if cur.vc == nil {
-		cur.saved = c.StealSuspended()
-	}
-	cur.state = TaskReady
-	cur.ran = 0
-	k.rq[id].push(cur)
-	k.current[id] = nil
-}
-
-// taskOff removes the current task from the core with the given state.
-func (k *Primary) taskOff(c *machine.Core, t *Task, st TaskState) {
-	t.state = st
-	t.ran = 0
-	if k.current[c.ID()] == t {
-		k.current[c.ID()] = nil
-	}
-}
-
-// VCPUExited implements hafnium.PrimaryOS: the RUN hypercall returned.
-func (k *Primary) VCPUExited(c *machine.Core, vc *hafnium.VCPU, reason hafnium.ExitReason) {
-	t := k.vcTask[vc]
-	if t == nil {
-		return
-	}
-	switch reason {
-	case hafnium.ExitYield:
-		k.taskOff(c, t, TaskReady)
-		t.state = TaskReady
-		k.rq[t.core].push(t)
-	case hafnium.ExitBlocked:
-		if vc.State() == hafnium.VCPURunnable {
-			// A wakeup raced the exit (doorbell or timer landed between
-			// the guest blocking and this callback): keep the thread
-			// runnable or the wakeup is lost.
-			k.taskOff(c, t, TaskReady)
-			k.rq[t.core].push(t)
-			break
-		}
-		k.taskOff(c, t, TaskBlocked)
-	case hafnium.ExitStopped, hafnium.ExitAborted:
-		k.taskOff(c, t, TaskDone)
-	default:
-		// An exit reason this kernel does not understand parks the thread
-		// instead of taking the node down; VCPUReady revives it if the
-		// VCPU becomes runnable again.
-		k.taskOff(c, t, TaskBlocked)
-	}
-	k.schedule(c)
-}
-
-// VCPUReady implements hafnium.PrimaryOS: wake the VCPU's kernel thread.
-func (k *Primary) VCPUReady(vc *hafnium.VCPU) {
-	t := k.vcTask[vc]
-	if t == nil {
-		return
-	}
-	if t.state == TaskDone {
-		// A restarted VM reuses its VCPUs: revive the thread.
-		t.state = TaskReady
-		t.started = false
-	} else if t.state != TaskBlocked && t.state != TaskReady {
-		return
-	} else {
-		t.state = TaskReady
-	}
-	// Avoid double-queuing.
-	k.rq[t.core].remove(t)
-	k.rq[t.core].push(t)
-	c := k.node.Cores[t.core]
-	if k.current[t.core] == nil && c.Idle() {
-		k.schedule(c)
-	}
-}
-
-// CoreIdle implements hafnium.PrimaryOS.
-func (k *Primary) CoreIdle(c *machine.Core) { k.schedule(c) }
-
-// schedule hands the core to the next ready task.
-func (k *Primary) schedule(c *machine.Core) {
-	id := c.ID()
-	if !k.started || k.current[id] != nil {
-		return
-	}
-	if c.Depth() != 0 {
-		// Suspended handler frames unwind first; their completion paths
-		// reschedule.
-		return
-	}
-	for {
-		t := k.rq[id].pop()
-		if t == nil {
-			return
-		}
-		if t.state != TaskReady {
-			continue
-		}
-		k.current[id] = t
-		t.state = TaskRunning
-		if t.vc != nil {
-			if err := k.h.RunVCPU(c, t.vc); err != nil {
-				k.current[id] = nil
-				t.state = TaskBlocked
-				continue
-			}
-			return
-		}
-		k.runProcess(c, t)
-		return
-	}
-}
-
-func (k *Primary) runProcess(c *machine.Core, t *Task) {
-	if !t.started {
-		t.started = true
-		t.proc.Main(&procExec{core: c, done: func() {
-			t.state = TaskDone
-			if k.current[c.ID()] == t {
-				k.current[c.ID()] = nil
-			}
-			k.schedule(c)
-		}})
-		return
-	}
-	if t.saved != nil {
-		a := t.saved
-		t.saved = nil
-		c.ResumeStolen(a)
-	}
-}
-
-// controlTask is the paper's §IV-a control process: it drains the
-// mailbox and executes job-control commands from the super-secondary.
-// Commands: "stop <vm>", "start <vm>", "status <vm>". Replies go back to
-// the sender's mailbox when it can receive them.
-func (k *Primary) controlTask(c *machine.Core) {
-	msg, err := k.h.RecvForPrimary()
-	if err != nil {
-		return
-	}
-	if k.OnMessage != nil {
-		k.OnMessage(msg)
-		return
-	}
-	k.ExecuteCommand(msg)
-}
-
-// ExecuteCommand runs one job-control command and replies to the sender.
-func (k *Primary) ExecuteCommand(msg hafnium.Message) {
-	cmd, arg, _ := cutCommand(string(msg.Payload))
-	reply := func(s string) {
-		// Best effort: the sender may have a full mailbox.
-		_ = k.h.SendFromPrimary(msg.From, []byte(s))
-	}
-	vm, ok := k.h.VMByName(arg)
-	if !ok && cmd != "" && arg != "" {
-		reply("error: no vm " + arg)
-		return
-	}
-	switch cmd {
-	case "stop":
-		if err := k.h.StopVM(vm.ID()); err != nil {
-			reply("error: " + err.Error())
-			return
-		}
-		reply("ok: stopped " + arg)
-	case "start":
-		if err := k.h.RestartVM(vm.ID()); err != nil {
-			reply("error: " + err.Error())
-			return
-		}
-		reply("ok: started " + arg)
-	case "status":
-		reply("ok: " + arg + " is " + vm.State().String())
-	default:
-		reply("error: unknown command " + cmd)
-	}
-}
-
-func cutCommand(s string) (cmd, arg string, ok bool) {
-	for i := 0; i < len(s); i++ {
-		if s[i] == ' ' {
-			return s[:i], s[i+1:], true
-		}
-	}
-	return s, "", false
-}

@@ -1,110 +1,22 @@
 package kitten
 
-import (
-	"fmt"
+import "khsim/internal/kernel"
 
-	"khsim/internal/hafnium"
-	"khsim/internal/machine"
-	"khsim/internal/osapi"
-	"khsim/internal/sim"
-)
-
-// TaskState tracks a task through Kitten's scheduler.
-type TaskState int
+// TaskState tracks a task through Kitten's scheduler (shared substrate
+// type; see internal/kernel).
+type TaskState = kernel.TaskState
 
 // Task states.
 const (
-	TaskReady TaskState = iota
-	TaskRunning
-	TaskBlocked
-	TaskDone
+	TaskReady   = kernel.TaskReady
+	TaskRunning = kernel.TaskRunning
+	TaskBlocked = kernel.TaskBlocked
+	TaskDone    = kernel.TaskDone
 )
-
-func (s TaskState) String() string {
-	switch s {
-	case TaskReady:
-		return "ready"
-	case TaskRunning:
-		return "running"
-	case TaskBlocked:
-		return "blocked"
-	default:
-		return "done"
-	}
-}
 
 // Task is a Kitten schedulable entity: either a process (user program)
 // or a VCPU kernel thread — the paper's §IV-a: "hafnium uses the same
 // approach as the Linux implementation and creates a dedicated kernel
-// thread for each of the VM's VCPUs".
-type Task struct {
-	name    string
-	core    int
-	state   TaskState
-	proc    osapi.Process
-	vc      *hafnium.VCPU
-	started bool
-	saved   *machine.Activity
-	ran     int // ticks consumed in the current quantum
-}
-
-// Name reports the task name.
-func (t *Task) Name() string { return t.name }
-
-// State reports the scheduler state.
-func (t *Task) State() TaskState { return t.state }
-
-// Core reports the task's CPU affinity.
-func (t *Task) Core() int { return t.core }
-
-// IsVCPU reports whether the task is a VCPU kernel thread.
-func (t *Task) IsVCPU() bool { return t.vc != nil }
-
-func (t *Task) String() string {
-	return fmt.Sprintf("%s(core%d,%v)", t.name, t.core, t.state)
-}
-
-// runqueue is a per-core FIFO round-robin queue, Kitten-style: no
-// priorities, no load balancing, fully deterministic.
-type runqueue struct {
-	tasks []*Task
-}
-
-func (q *runqueue) push(t *Task) { q.tasks = append(q.tasks, t) }
-
-func (q *runqueue) pop() *Task {
-	if len(q.tasks) == 0 {
-		return nil
-	}
-	t := q.tasks[0]
-	q.tasks = q.tasks[1:]
-	return t
-}
-
-func (q *runqueue) len() int { return len(q.tasks) }
-
-func (q *runqueue) remove(t *Task) {
-	for i, x := range q.tasks {
-		if x == t {
-			q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
-			return
-		}
-	}
-}
-
-// procExec is the osapi.Executor Kitten hands to process tasks. The
-// process always executes on its task's core.
-type procExec struct {
-	core *machine.Core
-	done func()
-}
-
-func (e *procExec) Exec(label string, d sim.Duration, fn func()) {
-	e.core.Exec(label, d, fn)
-}
-
-func (e *procExec) Run(a *machine.Activity) { e.core.Run(a) }
-
-func (e *procExec) Now() sim.Time { return e.core.Node().Now() }
-
-func (e *procExec) Done() { e.done() }
+// thread for each of the VM's VCPUs". It is the substrate's task type;
+// Kitten adds nothing to it.
+type Task = kernel.Task

@@ -1,154 +1,83 @@
 package linuxos
 
 import (
-	"khsim/internal/gic"
-	"khsim/internal/hafnium"
-	"khsim/internal/machine"
-	"khsim/internal/osapi"
+	"khsim/internal/kernel"
 	"khsim/internal/sim"
 )
 
 // Guest is Linux inside a Hafnium VM — the paper's super-secondary
 // "login VM" role (§III-b): it hosts the node's user-space management
 // environment, owns the device MMIO windows, and receives forwarded
-// device interrupts. Background kthread work runs deferred to the guest's
-// own 250 Hz tick (a simplification of in-guest hrtimers; the noise it
-// generates stays inside the VM).
+// device interrupts. It is the shared guest substrate with the Linux
+// cost table plus in-guest kthread noise: background work runs deferred
+// to the guest's own 250 Hz tick (a simplification of in-guest
+// hrtimers; the noise it generates stays inside the VM), and VCPUs with
+// no process idle instead of parking (the login VM waits for work).
 type Guest struct {
+	*kernel.Guest
 	p Params
-
-	procs map[int]osapi.Process
-
-	// OnMessage handles mailbox messages (the job-control shell).
-	OnMessage func(vc *hafnium.VCPU, msg hafnium.Message)
-	// OnDeviceIRQ handles forwarded device interrupts (drivers).
-	OnDeviceIRQ func(vc *hafnium.VCPU, virq int)
-	// OnNotification handles doorbell notifications.
-	OnNotification func(vc *hafnium.VCPU)
-	// DriverCost is charged per device interrupt.
-	DriverCost sim.Duration
-
-	rng      *sim.RNG
-	nextWork []guestWork
-	ticks    uint64
-	devirqs  uint64
-	done     map[int]bool
-	running  map[int]bool
 }
 
+// guestWork is one deferred kthread population inside the guest.
 type guestWork struct {
 	at   sim.Time
 	spec *KthreadSpec
 }
 
-// NewGuest builds a Linux guest kernel.
-func NewGuest(p Params, seed uint64) *Guest {
-	return &Guest{
-		p:       p,
-		procs:   make(map[int]osapi.Process),
-		rng:     sim.NewRNG(seed ^ 0x11f),
-		done:    make(map[int]bool),
-		running: make(map[int]bool),
-	}
+// guestNoise owns the guest's deferred-work schedule and its RNG stream;
+// its hooks plug into the substrate's Boot and tick paths.
+type guestNoise struct {
+	rng   *sim.RNG
+	specs []KthreadSpec
+	work  []guestWork
 }
 
-// Attach assigns a process to VCPU index vcpu.
-func (g *Guest) Attach(vcpu int, p osapi.Process) { g.procs[vcpu] = p }
-
-// Ticks reports guest ticks handled.
-func (g *Guest) Ticks() uint64 { return g.ticks }
-
-// DeviceIRQs reports forwarded device interrupts handled.
-func (g *Guest) DeviceIRQs() uint64 { return g.devirqs }
-
-// Done reports whether the process on a VCPU finished.
-func (g *Guest) Done(vcpu int) bool { return g.done[vcpu] }
-
-// Boot implements hafnium.GuestOS.
-func (g *Guest) Boot(vc *hafnium.VCPU) {
-	now := vc.Now()
-	for i := range g.p.Kthreads {
-		spec := &g.p.Kthreads[i]
-		g.nextWork = append(g.nextWork, guestWork{
-			at:   now.Add(g.rng.ExpDuration(spec.MeanInterval)),
+// bootWork seeds the deferred-work schedule at VCPU boot.
+func (n *guestNoise) bootWork(now sim.Time) {
+	for i := range n.specs {
+		spec := &n.specs[i]
+		n.work = append(n.work, guestWork{
+			at:   now.Add(n.rng.ExpDuration(spec.MeanInterval)),
 			spec: spec,
 		})
 	}
-	vc.ArmVTimerAfter(g.p.TickHz.Period())
-	g.running[vc.Index()] = true
-	if p := g.procs[vc.Index()]; p != nil {
-		p.Main(&linuxGuestExec{g: g, vc: vc})
-		return
-	}
-	// No process: the login VM idles, waking for ticks, messages and
-	// device interrupts.
 }
 
-// HandleVIRQ implements hafnium.GuestOS.
-func (g *Guest) HandleVIRQ(vc *hafnium.VCPU, virq int) {
-	switch {
-	case virq == gic.IRQVirtualTimer:
-		g.tick(vc)
-	case virq == hafnium.VIRQNotification:
-		vc.Exec("linux.guest.notify", g.p.CtxSwitch, func() {
-			if g.OnNotification != nil {
-				g.OnNotification(vc)
-			}
-		})
-	case virq == hafnium.VIRQMailbox:
-		vc.Exec("linux.guest.mbox", 3*g.p.CtxSwitch, func() {
-			if msg, err := vc.ReceiveMessage(); err == nil && g.OnMessage != nil {
-				g.OnMessage(vc, msg)
-			}
-		})
-	default:
-		cost := g.DriverCost
-		if cost == 0 {
-			cost = sim.FromMicros(12) // generic driver top+bottom half
-		}
-		g.devirqs++
-		vc.Exec("linux.guest.dev", cost, func() {
-			if g.OnDeviceIRQ != nil {
-				g.OnDeviceIRQ(vc, virq)
-			}
-		})
-	}
-}
-
-// tick is the in-guest 250 Hz tick: handler cost plus any kthread work
-// that came due since the last tick.
-func (g *Guest) tick(vc *hafnium.VCPU) {
-	g.ticks++
-	now := vc.Now()
-	cost := g.p.TickCost
-	for i := range g.nextWork {
-		w := &g.nextWork[i]
+// tickWork reports the kthread work that came due since the last tick
+// and rearms each population's next activation.
+func (n *guestNoise) tickWork(now sim.Time) sim.Duration {
+	var cost sim.Duration
+	for i := range n.work {
+		w := &n.work[i]
 		if w.at <= now {
-			cost += g.rng.UniformDuration(w.spec.MinWork, w.spec.MaxWork)
-			w.at = now.Add(g.rng.ExpDuration(w.spec.MeanInterval))
+			cost += n.rng.UniformDuration(w.spec.MinWork, w.spec.MaxWork)
+			w.at = now.Add(n.rng.ExpDuration(w.spec.MeanInterval))
 		}
 	}
-	vc.Exec("linux.guest.tick", cost, func() {
-		if g.running[vc.Index()] {
-			vc.ArmVTimerAfter(g.p.TickHz.Period())
-		}
-	})
+	return cost
 }
 
-// linuxGuestExec adapts a VCPU to osapi.Executor.
-type linuxGuestExec struct {
-	g  *Guest
-	vc *hafnium.VCPU
+// NewGuest builds a Linux guest kernel.
+func NewGuest(p Params, seed uint64) *Guest {
+	n := &guestNoise{
+		rng:   sim.NewRNG(seed ^ 0x11f),
+		specs: p.Kthreads,
+	}
+	return &Guest{
+		Guest: kernel.NewGuest(kernel.GuestConfig{
+			Label:      "linux.guest",
+			TickHz:     p.TickHz,
+			TickCost:   p.TickCost,
+			NotifyCost: p.CtxSwitch,
+			MboxCost:   3 * p.CtxSwitch,
+			DevCost:    sim.FromMicros(12), // generic driver top+bottom half
+			IdleLoop:   true,
+			BootWork:   n.bootWork,
+			TickWork:   n.tickWork,
+		}),
+		p: p,
+	}
 }
 
-func (e *linuxGuestExec) Exec(label string, d sim.Duration, fn func()) {
-	e.vc.Exec(label, d, fn)
-}
-func (e *linuxGuestExec) Run(a *machine.Activity) { e.vc.Run(a) }
-func (e *linuxGuestExec) Now() sim.Time           { return e.vc.Now() }
-func (e *linuxGuestExec) Done() {
-	e.g.done[e.vc.Index()] = true
-	e.g.running[e.vc.Index()] = false
-	e.vc.CancelVTimer()
-	e.vc.Block()
-}
+// Params returns the guest kernel's configuration.
+func (g *Guest) Params() Params { return g.p }

@@ -1,20 +1,15 @@
 package linuxos
 
-import "khsim/internal/sim"
+import (
+	"khsim/internal/kernel"
+	"khsim/internal/sim"
+)
 
 // KthreadSpec describes one background kernel-thread population — the
 // "background tasks that need to periodically run" and "deferred work
-// that is randomly assigned to a CPU core" of §III-a.
-type KthreadSpec struct {
-	Name string
-	// PerCore creates one bound instance per core (ksoftirqd); otherwise
-	// a single unbound instance wakes on a random core each time.
-	PerCore bool
-	// MeanInterval is the exponential mean between activations.
-	MeanInterval sim.Duration
-	// MinWork/MaxWork bound the uniform work per activation.
-	MinWork, MaxWork sim.Duration
-}
+// that is randomly assigned to a CPU core" of §III-a (shared substrate
+// type).
+type KthreadSpec = kernel.KthreadSpec
 
 // Params are the Linux model's scheduling and cost parameters.
 type Params struct {

@@ -1,570 +1,58 @@
 package linuxos
 
 import (
-	"fmt"
-
-	"khsim/internal/gic"
 	"khsim/internal/hafnium"
-	"khsim/internal/machine"
-	"khsim/internal/osapi"
-	"khsim/internal/sim"
-	"khsim/internal/timer"
+	"khsim/internal/kernel"
 )
 
-// taskKind distinguishes Linux task types in the model.
-type taskKind int
-
-const (
-	kindVCPU taskKind = iota
-	kindKthread
-	kindProcess
-)
-
-// TaskState mirrors the scheduler states the tests observe.
-type TaskState int
+// TaskState mirrors the scheduler states the tests observe (shared
+// substrate type; see internal/kernel).
+type TaskState = kernel.TaskState
 
 // Task states.
 const (
-	TaskReady TaskState = iota
-	TaskRunning
-	TaskBlocked
-	TaskDone
+	TaskReady   = kernel.TaskReady
+	TaskRunning = kernel.TaskRunning
+	TaskBlocked = kernel.TaskBlocked
+	TaskDone    = kernel.TaskDone
 )
 
 // Task is one Linux schedulable: a VCPU thread (the Hafnium driver's
-// per-VCPU kernel thread), a background kthread, or a user process.
-type Task struct {
-	name  string
-	kind  taskKind
-	ent   Entity
-	core  int
-	state TaskState
-
-	vc *hafnium.VCPU
-
-	proc    osapi.Process
-	started bool
-	saved   []*machine.Activity
-
-	spec *KthreadSpec
-
-	procExecDone func()
-	activations  uint64
-}
-
-// Name reports the task name.
-func (t *Task) Name() string { return t.name }
-
-// State reports the scheduler state.
-func (t *Task) State() TaskState { return t.state }
-
-// Core reports the task's current core.
-func (t *Task) Core() int { return t.core }
-
-// Activations reports kthread activations (tests & noise accounting).
-func (t *Task) Activations() uint64 { return t.activations }
-
-// wake is a pending hrtimer event: task t becomes runnable at 'at'.
-type wake struct {
-	at sim.Time
-	t  *Task
-}
+// per-VCPU kernel thread), a background kthread, or a user process. It
+// is the substrate's task type; Linux adds nothing to it.
+type Task = kernel.Task
 
 // Primary is Linux as Hafnium's primary scheduling VM — the baseline
-// configuration the paper replaces with Kitten.
+// configuration the paper replaces with Kitten. It is the shared kernel
+// substrate under the CFS policy: per-core fair runqueues driven by a
+// high-rate tick, plus the background kthreads and randomly-placed
+// deferred work §III-a blames for Linux's noise.
 type Primary struct {
-	node *machine.Node
-	h    *hafnium.Hypervisor
-	p    Params
-
-	cfs     []*CFS
-	current []*Task
-	vcTask  map[*hafnium.VCPU]*Task
-	tickAt  []sim.Time
-	wakes   [][]wake
-	rng     *sim.RNG
-	started bool
-
-	// OnMessage, if set, handles mailbox messages instead of dropping them.
-	OnMessage func(msg hafnium.Message)
-
-	ticks    uint64
-	wakeups  uint64
-	forwards uint64
-	kthreads []*Task
-	procs    []*Task
+	*kernel.Kernel
+	p Params
 }
 
 // NewPrimary builds the Linux primary kernel over a hypervisor.
 func NewPrimary(h *hafnium.Hypervisor, p Params) *Primary {
-	node := h.Node()
-	k := &Primary{
-		node:    node,
-		h:       h,
-		p:       p,
-		current: make([]*Task, len(node.Cores)),
-		vcTask:  make(map[*hafnium.VCPU]*Task),
-		tickAt:  make([]sim.Time, len(node.Cores)),
-		wakes:   make([][]wake, len(node.Cores)),
-		rng:     node.Engine.RNG().Split(0x11b),
+	pol := kernel.NewCFSPolicy(kernel.CFSParams{
+		TickHz:              p.TickHz,
+		TickCost:            p.TickCost,
+		WakeCost:            p.WakeCost,
+		SchedLatencyNS:      p.SchedLatencyNS,
+		WakeupGranularityNS: p.WakeupGranularityNS,
+		Kthreads:            p.Kthreads,
+	})
+	return &Primary{
+		Kernel: kernel.NewPrimary(h, pol, kernel.Config{
+			Label:      "linux",
+			CtxSwitch:  p.CtxSwitch,
+			MboxLabel:  "linux.mbox",
+			MboxCost:   3 * p.CtxSwitch,
+			EvictPages: p.EvictPages,
+		}),
+		p: p,
 	}
-	for range node.Cores {
-		k.cfs = append(k.cfs, NewCFS(p.SchedLatencyNS))
-	}
-	return k
 }
 
 // Params returns the configuration.
 func (k *Primary) Params() Params { return k.p }
-
-// Ticks reports handled scheduler ticks.
-func (k *Primary) Ticks() uint64 { return k.ticks }
-
-// Wakeups reports kthread activations dispatched.
-func (k *Primary) Wakeups() uint64 { return k.wakeups }
-
-// Forwards reports device IRQs forwarded to the super-secondary.
-func (k *Primary) Forwards() uint64 { return k.forwards }
-
-// Current reports the task owning a core.
-func (k *Primary) Current(core int) *Task { return k.current[core] }
-
-// Task reports the kernel thread backing a VCPU.
-func (k *Primary) Task(vc *hafnium.VCPU) *Task { return k.vcTask[vc] }
-
-// Kthreads returns the background thread population.
-func (k *Primary) Kthreads() []*Task { return k.kthreads }
-
-// AddVM creates the Hafnium driver's per-VCPU kernel threads, spread
-// incrementally across cores unless explicit assignments are given.
-func (k *Primary) AddVM(vm *hafnium.VM, cores ...int) error {
-	n := vm.VCPUs()
-	if len(cores) != 0 && len(cores) != n {
-		return fmt.Errorf("linuxos: AddVM(%s): %d cores for %d vcpus", vm.Name(), len(cores), n)
-	}
-	for i := 0; i < n; i++ {
-		core := i % len(k.node.Cores)
-		if len(cores) != 0 {
-			core = cores[i]
-		}
-		if core < 0 || core >= len(k.node.Cores) {
-			return fmt.Errorf("linuxos: AddVM(%s): bad core %d", vm.Name(), core)
-		}
-		vc := vm.VCPU(i)
-		t := &Task{
-			name:  fmt.Sprintf("vcpu-%s/%d", vm.Name(), i),
-			kind:  kindVCPU,
-			core:  core,
-			vc:    vc,
-			state: TaskReady,
-			ent:   Entity{Name: fmt.Sprintf("vcpu-%s/%d", vm.Name(), i), Weight: DefaultWeight},
-		}
-		k.vcTask[vc] = t
-		k.cfs[core].Enqueue(&t.ent)
-		if k.started && k.current[core] == nil {
-			k.schedule(k.node.Cores[core])
-		}
-	}
-	return nil
-}
-
-// Spawn creates a user-process task pinned to core.
-func (k *Primary) Spawn(name string, core int, p osapi.Process) (*Task, error) {
-	if core < 0 || core >= len(k.node.Cores) {
-		return nil, fmt.Errorf("linuxos: spawn %q on bad core %d", name, core)
-	}
-	t := &Task{
-		name: name, kind: kindProcess, core: core, proc: p, state: TaskReady,
-		ent: Entity{Name: name, Weight: DefaultWeight},
-	}
-	k.addProc(t)
-	k.cfs[core].Enqueue(&t.ent)
-	if k.started && k.current[core] == nil {
-		k.schedule(k.node.Cores[core])
-	}
-	return t, nil
-}
-
-// entTask finds the Task owning a picked entity (small N; linear is fine).
-func (k *Primary) entTask(core int, e *Entity) *Task {
-	if t := k.current[core]; t != nil && &t.ent == e {
-		return t
-	}
-	for _, t := range k.kthreads {
-		if &t.ent == e {
-			return t
-		}
-	}
-	for _, t := range k.vcTask {
-		if &t.ent == e {
-			return t
-		}
-	}
-	for _, t := range k.procs {
-		if &t.ent == e {
-			return t
-		}
-	}
-	return nil
-}
-
-// Boot implements hafnium.PrimaryOS.
-func (k *Primary) Boot() {
-	now := k.node.Now()
-	period := k.p.TickHz.Period()
-	// Kthread population: one per core for bound specs, one unbound
-	// instance otherwise.
-	for i := range k.p.Kthreads {
-		spec := &k.p.Kthreads[i]
-		if spec.PerCore {
-			for core := range k.node.Cores {
-				t := &Task{
-					name: fmt.Sprintf("%s/%d", spec.Name, core), kind: kindKthread,
-					core: core, spec: spec, state: TaskBlocked,
-					ent: Entity{Name: spec.Name, Weight: DefaultWeight},
-				}
-				k.kthreads = append(k.kthreads, t)
-				k.scheduleWake(t)
-			}
-		} else {
-			t := &Task{
-				name: spec.Name, kind: kindKthread, core: 0, spec: spec,
-				state: TaskBlocked,
-				ent:   Entity{Name: spec.Name, Weight: DefaultWeight},
-			}
-			k.kthreads = append(k.kthreads, t)
-			k.scheduleWake(t)
-		}
-	}
-	for core := range k.node.Cores {
-		offset := sim.Duration(uint64(period) * uint64(core) / uint64(len(k.node.Cores)))
-		k.tickAt[core] = now.Add(period + offset)
-		k.program(core)
-	}
-	k.started = true
-	for _, c := range k.node.Cores {
-		if k.current[c.ID()] == nil {
-			k.schedule(c)
-		}
-	}
-}
-
-// procs tracks user-process tasks for entity lookup.
-func (k *Primary) addProc(t *Task) { k.procs = append(k.procs, t) }
-
-// scheduleWake arms the next activation of a kthread: an exponential
-// interval, on its bound core or a random core for unbound threads
-// ("deferred work that is randomly assigned to a CPU core", §III-a).
-func (k *Primary) scheduleWake(t *Task) {
-	core := t.core
-	if !t.spec.PerCore {
-		core = k.rng.Intn(len(k.node.Cores))
-		t.core = core
-	}
-	at := k.node.Now().Add(k.rng.ExpDuration(t.spec.MeanInterval))
-	k.wakes[core] = append(k.wakes[core], wake{at: at, t: t})
-	if k.started {
-		k.program(core)
-	}
-}
-
-// program arms the core's hrtimer to the earliest pending event.
-func (k *Primary) program(core int) {
-	deadline := k.tickAt[core]
-	for _, w := range k.wakes[core] {
-		if w.at < deadline {
-			deadline = w.at
-		}
-	}
-	k.node.Timers.Core(core).Arm(timer.Phys, deadline)
-}
-
-// EvictionPages implements hafnium.PrimaryOS.
-func (k *Primary) EvictionPages() int { return k.p.EvictPages }
-
-// HandleIRQ implements hafnium.PrimaryOS.
-func (k *Primary) HandleIRQ(c *machine.Core, irq int) {
-	k.h.Preempted(c) // clear; bookkeeping is via current[]
-	switch {
-	case irq == gic.IRQPhysTimer:
-		k.timerIRQ(c)
-	case irq == hafnium.VIRQMailbox:
-		c.Exec("linux.mbox", 3*k.p.CtxSwitch, func() {
-			if msg, err := k.h.RecvForPrimary(); err == nil && k.OnMessage != nil {
-				k.OnMessage(msg)
-			}
-			k.resume(c)
-		})
-	case gic.ClassOf(irq) == gic.SPI:
-		c.Exec("linux.fwd", k.p.CtxSwitch, func() {
-			if super := k.h.Super(); super != nil {
-				if err := k.h.InjectDeviceIRQ(super.ID(), irq); err == nil {
-					k.forwards++
-				}
-			}
-			k.resume(c)
-		})
-	default:
-		c.Exec("linux.irq", k.p.CtxSwitch/2, func() { k.resume(c) })
-	}
-}
-
-// timerIRQ dispatches the hrtimer: scheduler tick and/or kthread wakeups.
-func (k *Primary) timerIRQ(c *machine.Core) {
-	id := c.ID()
-	now := k.node.Now()
-	var cost sim.Duration
-	tickDue := now >= k.tickAt[id]
-	if tickDue {
-		cost += k.p.TickCost
-		k.ticks++
-		k.tickAt[id] = k.tickAt[id].Add(k.p.TickHz.Period())
-		// Charge the running entity one tick of vruntime.
-		if k.current[id] != nil {
-			k.cfs[id].Account(k.p.TickHz.Period().Nanos())
-		}
-	}
-	var woken []*Task
-	var rest []wake
-	for _, w := range k.wakes[id] {
-		if w.at <= now {
-			cost += k.p.WakeCost
-			woken = append(woken, w.t)
-		} else {
-			rest = append(rest, w)
-		}
-	}
-	k.wakes[id] = rest
-	if cost == 0 {
-		cost = k.p.WakeCost / 2 // spurious hrtimer reprogram
-	}
-	c.Exec("linux.tick", cost, func() {
-		for _, t := range woken {
-			k.wakeups++
-			t.activations++
-			t.state = TaskReady
-			k.cfs[id].Enqueue(&t.ent)
-		}
-		k.program(id)
-		k.reschedule(c, tickDue)
-	})
-}
-
-// reschedule applies CFS preemption after timer work.
-func (k *Primary) reschedule(c *machine.Core, tickDue bool) {
-	id := c.ID()
-	cur := k.current[id]
-	if cur == nil {
-		k.schedule(c)
-		return
-	}
-	preempt := k.cfs[id].ShouldPreempt(k.p.WakeupGranularityNS)
-	canSwitch := (cur.kind == kindVCPU && c.Depth() == 0) || (cur.kind != kindVCPU && c.Depth() == 1)
-	if preempt && canSwitch {
-		k.deschedule(c, cur)
-		c.Exec("linux.ctxsw", k.p.CtxSwitch, func() { k.schedule(c) })
-		return
-	}
-	k.resume(c)
-}
-
-// resume continues the current task after interrupt work.
-func (k *Primary) resume(c *machine.Core) {
-	cur := k.current[c.ID()]
-	if cur == nil {
-		k.schedule(c)
-		return
-	}
-	if cur.kind == kindVCPU {
-		if c.Depth() != 0 {
-			// An interrupted EL1 handler is still suspended on this core;
-			// it resumes first and its own completion path re-enters the
-			// guest. Entering now would nest guest frames under it.
-			return
-		}
-		switch cur.vc.State() {
-		case hafnium.VCPURunnable:
-			if err := k.h.RunVCPU(c, cur.vc); err != nil {
-				k.blockCurrent(c, cur)
-				k.schedule(c)
-			}
-		case hafnium.VCPURunning:
-			// Still resident (IRQ did not displace it).
-		default:
-			k.blockCurrent(c, cur)
-			k.schedule(c)
-		}
-		return
-	}
-	// Kthread/process frames resume from the suspension stack.
-}
-
-func (k *Primary) blockCurrent(c *machine.Core, t *Task) {
-	t.state = TaskBlocked
-	k.cfs[c.ID()].Dequeue()
-	if k.current[c.ID()] == t {
-		k.current[c.ID()] = nil
-	}
-}
-
-// deschedule requeues the running task.
-func (k *Primary) deschedule(c *machine.Core, cur *Task) {
-	id := c.ID()
-	if cur.kind != kindVCPU {
-		cur.saved = c.StealAllSuspended()
-	}
-	cur.state = TaskReady
-	k.cfs[id].Requeue()
-	k.current[id] = nil
-}
-
-// VCPUExited implements hafnium.PrimaryOS.
-func (k *Primary) VCPUExited(c *machine.Core, vc *hafnium.VCPU, reason hafnium.ExitReason) {
-	t := k.vcTask[vc]
-	if t == nil {
-		return
-	}
-	id := c.ID()
-	switch reason {
-	case hafnium.ExitYield:
-		t.state = TaskReady
-		if k.current[id] == t {
-			k.cfs[id].Requeue()
-			k.current[id] = nil
-		}
-	case hafnium.ExitBlocked:
-		if vc.State() == hafnium.VCPURunnable {
-			// A wakeup raced the exit; keep the thread runnable.
-			t.state = TaskReady
-			if k.current[id] == t {
-				k.cfs[id].Requeue()
-				k.current[id] = nil
-			}
-			break
-		}
-		k.blockCurrent(c, t)
-	case hafnium.ExitStopped, hafnium.ExitAborted:
-		t.state = TaskDone
-		if k.current[id] == t {
-			k.cfs[id].Dequeue()
-			k.current[id] = nil
-		} else {
-			k.cfs[t.core].Remove(&t.ent)
-		}
-	}
-	k.schedule(c)
-}
-
-// VCPUReady implements hafnium.PrimaryOS.
-func (k *Primary) VCPUReady(vc *hafnium.VCPU) {
-	t := k.vcTask[vc]
-	if t == nil {
-		return
-	}
-	if t.state == TaskDone {
-		t.state = TaskReady
-	} else if t.state != TaskBlocked {
-		return
-	} else {
-		t.state = TaskReady
-	}
-	if !t.ent.OnRunqueue() {
-		k.cfs[t.core].Enqueue(&t.ent)
-	}
-	c := k.node.Cores[t.core]
-	if k.current[t.core] == nil && c.Idle() {
-		k.schedule(c)
-	}
-}
-
-// CoreIdle implements hafnium.PrimaryOS.
-func (k *Primary) CoreIdle(c *machine.Core) { k.schedule(c) }
-
-// schedule picks the leftmost entity and runs its task.
-func (k *Primary) schedule(c *machine.Core) {
-	id := c.ID()
-	if !k.started || k.current[id] != nil {
-		return
-	}
-	if c.Depth() != 0 {
-		// Let suspended handler frames unwind first; their completion
-		// paths reschedule.
-		return
-	}
-	for {
-		e := k.cfs[id].PickNext()
-		if e == nil {
-			return
-		}
-		t := k.entTask(id, e)
-		if t == nil || t.state == TaskDone {
-			k.cfs[id].Dequeue()
-			continue
-		}
-		k.current[id] = t
-		t.state = TaskRunning
-		switch t.kind {
-		case kindVCPU:
-			if err := k.h.RunVCPU(c, t.vc); err != nil {
-				k.blockCurrent(c, t)
-				continue
-			}
-			return
-		case kindKthread:
-			k.runKthread(c, t)
-			return
-		case kindProcess:
-			k.runProcess(c, t)
-			return
-		}
-	}
-}
-
-func (k *Primary) runKthread(c *machine.Core, t *Task) {
-	if len(t.saved) > 0 {
-		frames := t.saved
-		t.saved = nil
-		c.RestoreStack(frames)
-		return
-	}
-	work := k.rng.UniformDuration(t.spec.MinWork, t.spec.MaxWork)
-	c.Exec("linux."+t.spec.Name, work, func() {
-		k.blockCurrent(c, t)
-		k.scheduleWake(t)
-		k.schedule(c)
-	})
-}
-
-func (k *Primary) runProcess(c *machine.Core, t *Task) {
-	if !t.started {
-		t.started = true
-		t.procExecDone = func() {
-			t.state = TaskDone
-			k.cfs[c.ID()].Dequeue()
-			if k.current[c.ID()] == t {
-				k.current[c.ID()] = nil
-			}
-			k.schedule(c)
-		}
-		t.proc.Main(&linuxExec{core: c, done: t.procExecDone})
-		return
-	}
-	if len(t.saved) > 0 {
-		frames := t.saved
-		t.saved = nil
-		c.RestoreStack(frames)
-	}
-}
-
-// linuxExec adapts a core to osapi.Executor for user processes.
-type linuxExec struct {
-	core *machine.Core
-	done func()
-}
-
-func (e *linuxExec) Exec(label string, d sim.Duration, fn func()) {
-	e.core.Exec(label, d, fn)
-}
-func (e *linuxExec) Run(a *machine.Activity) { e.core.Run(a) }
-func (e *linuxExec) Now() sim.Time           { return e.core.Node().Now() }
-func (e *linuxExec) Done()                   { e.done() }

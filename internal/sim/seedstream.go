@@ -1,0 +1,21 @@
+package sim
+
+// SeedStream derives per-trial engine seeds from a base seed. The
+// mapping (base + i*7919 + 1, a prime stride) is part of the artifact
+// contract: published trial results are reproducible from (base, i)
+// alone, so the formula must never change. Centralizing it here lets
+// sequential and parallel harnesses draw identical seeds for the same
+// trial index regardless of execution order.
+type SeedStream struct {
+	base uint64
+}
+
+// NewSeedStream returns the trial-seed stream for a base seed.
+func NewSeedStream(base uint64) SeedStream { return SeedStream{base: base} }
+
+// Seed returns the engine seed for trial i.
+func (s SeedStream) Seed(i int) uint64 { return s.base + uint64(i)*7919 + 1 }
+
+// RNG returns a generator seeded for trial i (convenience for harnesses
+// that need a trial-local stream rather than an engine seed).
+func (s SeedStream) RNG(i int) *RNG { return NewRNG(s.Seed(i)) }
