@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench lint
+.PHONY: build test check vet race bench lint obscheck
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,20 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-# check is the full pre-merge gate: build, vet, and the test suite under
-# the race detector.
-check: build vet race
+# obscheck is the observability gate: the metrics snapshot must be
+# deterministic across same-seed runs, and the Perfetto trace export must
+# pass schema validation (khsim trace -check exits non-zero otherwise).
+obscheck: build
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/khsim metrics -config kitten -bench stream -seed 1 > "$$tmp/a.metrics" && \
+	$(GO) run ./cmd/khsim metrics -config kitten -bench stream -seed 1 > "$$tmp/b.metrics" && \
+	cmp "$$tmp/a.metrics" "$$tmp/b.metrics" || { echo "obscheck: metrics snapshot not deterministic"; exit 1; }; \
+	$(GO) run ./cmd/khsim trace -config kitten -bench selfish -seconds 0.1 -format perfetto -check -out "$$tmp/trace.json" || exit 1; \
+	echo "obscheck: ok"
+
+# check is the full pre-merge gate: build, vet, the test suite under the
+# race detector, and the observability gate.
+check: build vet race obscheck
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

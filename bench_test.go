@@ -48,7 +48,9 @@ func benchSelfish(b *testing.B, cfg harness.Config) {
 	b.ReportMetric(res.RatePerSecond(), "detours/s")
 	if res.Count() > 0 {
 		b.ReportMetric(res.DurationsMicros().Mean(), "mean-us")
-		b.ReportMetric(res.DurationsMicros().Max(), "max-us")
+		if max, ok := res.DurationsMicros().Max(); ok {
+			b.ReportMetric(max, "max-us")
+		}
 	}
 	b.ReportMetric(100*res.StolenFraction(), "stolen-%")
 }

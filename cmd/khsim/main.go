@@ -6,6 +6,8 @@
 //
 //	khsim [-manifest FILE] [-scheduler kitten|linux] [-bench NAME] [-seed S]
 //	khsim faults [-manifest FILE] [-seed S] [-spec RULES] [-seconds N] [-contain]
+//	khsim metrics [-config native|kitten|linux] [-bench NAME] [-seed S] [-format text|json]
+//	khsim trace [-config native|kitten|linux] [-bench NAME] [-seed S] [-format perfetto|tsv] [-out FILE] [-check]
 //
 // With no manifest the paper's evaluation partition plan is used. Bench
 // names: hpcg, stream, randomaccess, nas-lu, nas-bt, nas-cg, nas-ep,
@@ -15,6 +17,13 @@
 // against a victim VM and prints the injection trace, the hypervisor's
 // containment counters, and each VM's fate; -contain instead runs the
 // crash-containment experiment (primary noise with vs without faults).
+//
+// The metrics subcommand runs one benchmark and prints the node's full
+// metrics snapshot (world switches, hypercalls by function, virtual IRQ
+// injections, stage-2 faults, TLB and timer activity, ring doorbells),
+// deterministically: same seed, same snapshot, byte for byte. The trace
+// subcommand exports the run's event trace as Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev), or as TSV.
 package main
 
 import (
@@ -157,9 +166,18 @@ func faultsCmd(args []string) {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "faults" {
-		faultsCmd(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "faults":
+			faultsCmd(os.Args[2:])
+			return
+		case "metrics":
+			metricsCmd(os.Args[2:])
+			return
+		case "trace":
+			traceCmd(os.Args[2:])
+			return
+		}
 	}
 	manifestPath := flag.String("manifest", "", "Hafnium manifest file (default: built-in evaluation plan)")
 	schedName := flag.String("scheduler", "kitten", "primary VM kernel: kitten or linux")

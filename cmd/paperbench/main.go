@@ -6,15 +6,22 @@
 //
 // Usage:
 //
-//	paperbench [-experiment fig4-6|fig7|fig8|fig9|fig10|all] [-trials N] [-seed S]
+//	paperbench [-experiment fig4-6|fig7|fig8|fig9|fig10|all] [-trials N] [-seed S] [-sidecar DIR]
+//
+// With -sidecar DIR, every figure gets a metrics sidecar file in DIR
+// (e.g. fig7-8.stream.kitten.metrics): the node's full observability
+// snapshot from the first trial of the cell, in `khsim metrics` text
+// format.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"khsim/internal/harness"
+	"khsim/internal/metrics"
 	"khsim/internal/sim"
 	"khsim/internal/workload"
 )
@@ -24,11 +31,41 @@ func main() {
 	trials := flag.Int("trials", 10, "trials per cell")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	seconds := flag.Float64("seconds", 30, "selfish-detour spin seconds")
+	sidecar := flag.String("sidecar", "", "directory for per-figure metrics sidecar files (empty: none)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
 		os.Exit(1)
+	}
+	if *sidecar != "" {
+		if err := os.MkdirAll(*sidecar, 0o755); err != nil {
+			fail(err)
+		}
+	}
+	// writeSidecar stores one snapshot next to the figure it accompanies,
+	// e.g. fig7-8.stream.kitten.metrics.
+	writeSidecar := func(name string, snap *metrics.Snapshot) {
+		if *sidecar == "" || snap == nil {
+			return
+		}
+		f, err := os.Create(filepath.Join(*sidecar, name+".metrics"))
+		if err != nil {
+			fail(err)
+		}
+		if err := snap.WriteText(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	writeTableSidecars := func(prefix string, tab *harness.Table) {
+		for _, bench := range tab.Benches {
+			for _, cfg := range harness.Configs {
+				writeSidecar(fmt.Sprintf("%s.%s.%s", prefix, bench, cfg), tab.Sidecars[bench][cfg])
+			}
+		}
 	}
 	wantSelfish := *experiment == "all" || *experiment == "fig4-6"
 	wantMicro := *experiment == "all" || *experiment == "fig7" || *experiment == "fig8"
@@ -39,9 +76,12 @@ func main() {
 	}
 
 	if wantSelfish {
-		res, err := harness.SelfishExperiment(*seed, sim.FromSeconds(*seconds))
+		res, snaps, err := harness.SelfishExperimentMetrics(*seed, sim.FromSeconds(*seconds))
 		if err != nil {
 			fail(err)
+		}
+		for _, cfg := range harness.Configs {
+			writeSidecar(fmt.Sprintf("fig4-6.%s", cfg), snaps[cfg])
 		}
 		fmt.Print(harness.FormatSelfish(res))
 		fmt.Println()
@@ -51,6 +91,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		writeTableSidecars("fig7-8", tab)
 		if *experiment != "fig8" {
 			fmt.Print(tab.FormatNormalized()) // Fig 7
 			fmt.Println()
@@ -65,6 +106,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		writeTableSidecars("fig9-10", tab)
 		if *experiment != "fig10" {
 			fmt.Print(tab.FormatNormalized()) // Fig 9
 			fmt.Println()

@@ -22,6 +22,7 @@ import (
 	"khsim/internal/hafnium"
 	"khsim/internal/machine"
 	"khsim/internal/mem"
+	"khsim/internal/metrics"
 	"khsim/internal/mmu"
 	"khsim/internal/sim"
 )
@@ -340,6 +341,8 @@ func (in *Injector) fire(ri int) {
 	in.trace = append(in.trace, rec)
 	in.stats.Injected++
 	in.stats.ByKind[r.Kind]++
+	in.node.Metrics.Counter(metrics.K("faults", "injected")).Inc()
+	in.node.Metrics.Counter(metrics.K("faults", "injected."+r.Kind.String())).Inc()
 }
 
 // raiseSPI routes the injector's SPI to the core and raises it.

@@ -22,6 +22,7 @@ import (
 // a simulator panic.
 func (h *Hypervisor) badHypercall(vm *VM, reason string) {
 	h.stats.BadHypercalls++
+	h.metric("bad_hypercalls", vm).Inc()
 	h.crashVM(vm, reason)
 }
 
@@ -61,8 +62,8 @@ func (h *Hypervisor) abortFromGuest(vc *VCPU, reason string) {
 			_ = h.kick(v.core)
 		}
 	}
-	h.stats.WorldSwitches++
 	costs := h.node.Costs
+	h.worldSwitch(vm, costs.HypTrap+costs.WorldSwitch)
 	c.ExecUninterruptible("el2.abort", costs.HypTrap+costs.WorldSwitch, func() {
 		h.primaryOS.VCPUExited(c, vc, ExitAborted)
 	})
@@ -85,6 +86,7 @@ func (h *Hypervisor) containCrash(vm *VM, reason string) bool {
 	vm.state = VMCrashed
 	vm.crashReason = reason
 	h.stats.Aborts++
+	h.metric("aborts", vm).Inc()
 	for _, v := range vm.vcpus {
 		v.state = VCPUStopped
 		v.CancelVTimer()
@@ -134,6 +136,7 @@ func (h *Hypervisor) revokeGrants(vm *VM) {
 			_ = dst.stage2.Unmap(rec.ToIPA, size)
 		}
 		h.stats.ScrubbedPages += uint64(len(rec.Pages))
+		h.metric("scrubbed_pages", vm).Add(uint64(len(rec.Pages)))
 		rec.active = false
 	}
 }
@@ -166,6 +169,7 @@ func (h *Hypervisor) armWatchdog(vm *VM) {
 	if spec.Quarantine {
 		vm.state = VMQuarantined
 		h.stats.Quarantines++
+		h.metric("quarantines", vm).Inc()
 	}
 }
 
@@ -178,6 +182,7 @@ func (h *Hypervisor) recoverVM(vm *VM) {
 		return
 	}
 	h.stats.ScrubbedPages += vm.ramSize / mem.PageSize
+	h.metric("scrubbed_pages", vm).Add(vm.ramSize / mem.PageSize)
 	vm.stage2 = mmu.NewTable(fmt.Sprintf("s2.%s", vm.spec.Name))
 	if err := vm.stage2.Map(GuestRAMBase, uint64(vm.ramPA), vm.ramSize, mmu.PermRWX); err != nil {
 		panic(fmt.Sprintf("hafnium: rebuilding %s stage-2 RAM: %v", vm.spec.Name, err))
@@ -194,6 +199,7 @@ func (h *Hypervisor) recoverVM(vm *VM) {
 	vm.restarts++
 	vm.state = VMRunning
 	h.stats.Restarts++
+	h.metric("restarts", vm).Inc()
 	for _, vc := range vm.vcpus {
 		vc.state = VCPURunnable
 		vc.booted = false

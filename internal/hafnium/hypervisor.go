@@ -6,6 +6,7 @@ import (
 	"khsim/internal/gic"
 	"khsim/internal/machine"
 	"khsim/internal/mem"
+	"khsim/internal/metrics"
 	"khsim/internal/sim"
 	"khsim/internal/timer"
 	"khsim/internal/tz"
@@ -59,6 +60,32 @@ type Hypervisor struct {
 	booted    bool
 
 	stats Stats
+
+	// Cached hot-path registry counters (per physical core / global);
+	// per-VM counters live on the VM structs.
+	mTraps []*metrics.Counter
+	mKicks *metrics.Counter
+}
+
+// metric returns the VM-labelled el2 counter for name (cold paths; hot
+// paths cache pointers at build time).
+func (h *Hypervisor) metric(name string, vm *VM) *metrics.Counter {
+	return h.node.Metrics.Counter(metrics.K("el2", name).WithVM(vm.spec.Name))
+}
+
+// hypercall counts one ABI invocation by function name, attributed to
+// the VM it concerns.
+func (h *Hypervisor) hypercall(fn string, vm *VM) {
+	h.node.Metrics.Counter(metrics.K("el2", "hypercall."+fn).WithVM(vm.spec.Name)).Inc()
+}
+
+// worldSwitch accounts one world switch for vm with the EL2 cycle cost
+// charged for it (entry/exit trap plus context switch, and for RunVCPU
+// the TLB refill transient).
+func (h *Hypervisor) worldSwitch(vm *VM, cost sim.Duration) {
+	h.stats.WorldSwitches++
+	vm.mWorldSwitches.Inc()
+	vm.mSwitchCostPS.Add(uint64(cost))
 }
 
 // hypReservedMB is DRAM held back for Hafnium itself (text, per-VM
@@ -88,6 +115,10 @@ func New(node *machine.Node, m *Manifest, monitor *tz.Monitor) (*Hypervisor, err
 		routing:   m.Routing,
 		tlbPolicy: m.TLB,
 	}
+	for i := range node.Cores {
+		h.mTraps = append(h.mTraps, node.Metrics.Counter(metrics.K("el2", "traps").WithCore(i)))
+	}
+	h.mKicks = node.Metrics.Counter(metrics.K("el2", "kicks"))
 	dram, ok := node.Mem.FindName("dram")
 	if !ok {
 		return nil, fmt.Errorf("hafnium: node has no DRAM region")
@@ -297,6 +328,7 @@ func (h *Hypervisor) trap(c *machine.Core) {
 	}
 	h.node.GIC.EOI(id, irq)
 	h.stats.Traps++
+	h.mTraps[id].Inc()
 	cur := h.cur[id]
 	costs := h.node.Costs
 
@@ -333,6 +365,7 @@ func (h *Hypervisor) trap(c *machine.Core) {
 // plus list-register traffic, then the guest's handler in guest context.
 func (h *Hypervisor) inject(c *machine.Core, vc *VCPU, virq int) {
 	h.stats.Injections++
+	vc.vm.mInjections.Inc()
 	costs := h.node.Costs
 	c.ExecUninterruptible("el2.inject", costs.HypTrap+costs.IRQDeliverGIC, func() {
 		vc.vm.guest.HandleVIRQ(vc, virq)
@@ -368,6 +401,7 @@ func (h *Hypervisor) drainPending(c *machine.Core, vc *VCPU) {
 	virq := vc.pending[0]
 	vc.pending = vc.pending[1:]
 	h.stats.Injections++
+	vc.vm.mInjections.Inc()
 	costs := h.node.Costs
 	c.ExecUninterruptible("el2.inject", costs.HypTrap+costs.IRQDeliverGIC, func() {
 		vc.vm.guest.HandleVIRQ(vc, virq)
@@ -388,11 +422,11 @@ func (h *Hypervisor) switchOut(c *machine.Core, vc *VCPU, irq int) {
 	h.parkVTimer(vc, id)
 	h.cur[id] = nil
 	h.preempted[id] = vc
-	h.stats.WorldSwitches++
+	costs := h.node.Costs
+	h.worldSwitch(vc.vm, costs.HypTrap+costs.WorldSwitch)
 	if h.tlbPolicy == TLBFlushAll {
 		c.TLB().InvalidateAll()
 	}
-	costs := h.node.Costs
 	c.ExecUninterruptible("el2.worldswitch", costs.HypTrap+costs.WorldSwitch, func() {
 		h.primaryOS.HandleIRQ(c, irq)
 	})
@@ -409,8 +443,8 @@ func (h *Hypervisor) forceExit(c *machine.Core, vc *VCPU, reason ExitReason) {
 	h.accountCPU(id, vc)
 	vc.CancelVTimer()
 	h.cur[id] = nil
-	h.stats.WorldSwitches++
 	costs := h.node.Costs
+	h.worldSwitch(vc.vm, costs.HypTrap+costs.WorldSwitch)
 	c.ExecUninterruptible("el2.worldswitch", costs.HypTrap+costs.WorldSwitch, func() {
 		h.primaryOS.VCPUExited(c, vc, reason)
 	})
@@ -462,8 +496,9 @@ func (h *Hypervisor) guestExit(vc *VCPU, reason ExitReason) {
 	h.accountCPU(id, vc)
 	h.parkVTimer(vc, id)
 	h.cur[id] = nil
-	h.stats.WorldSwitches++
 	costs := h.node.Costs
+	h.hypercall("exit", vc.vm)
+	h.worldSwitch(vc.vm, costs.HypTrap+costs.WorldSwitch)
 	c.ExecUninterruptible("el2.exit", costs.HypTrap+costs.WorldSwitch, func() {
 		h.primaryOS.VCPUExited(c, vc, reason)
 	})
@@ -520,7 +555,8 @@ func (h *Hypervisor) RunVCPU(c *machine.Core, vc *VCPU) error {
 		return fmt.Errorf("hafnium: %s is %v", vc, vc.state)
 	}
 	h.stats.Runs++
-	h.stats.WorldSwitches++
+	vc.vm.mRuns.Inc()
+	h.hypercall("run", vc.vm)
 	vc.state = VCPURunning
 	vc.core = id
 	vc.runs++
@@ -548,6 +584,7 @@ func (h *Hypervisor) RunVCPU(c *machine.Core, vc *VCPU) error {
 	// TLB transient: a flushed (or capacity-evicted) stage-2 working set
 	// re-faults entry by entry after the switch.
 	entry += h.refillCost(c, vc)
+	h.worldSwitch(vc.vm, entry)
 	h.lastVMID[id] = vc.vm.id
 
 	// Detach the saved frames now: the VCPU is resident from this point,
@@ -635,6 +672,7 @@ func (h *Hypervisor) kick(core int) error {
 		return fmt.Errorf("hafnium: kick core %d: %w", core, err)
 	}
 	h.stats.Kicks++
+	h.mKicks.Inc()
 	return nil
 }
 
@@ -654,6 +692,7 @@ func (h *Hypervisor) InjectDeviceIRQ(to VMID, virq int) error {
 		return ErrNotRunning
 	}
 	h.stats.Forwards++
+	h.metric("device_forwards", vm).Inc()
 	h.pendToVM(vm, virq)
 	return nil
 }
@@ -742,6 +781,7 @@ func (h *Hypervisor) msgSend(from, to VMID, payload []byte) error {
 	copy(cp, payload)
 	dst.mailbox = &Message{From: from, Payload: cp}
 	h.stats.Messages++
+	h.hypercall("msg_send", src)
 	if dst.spec.Class == Primary {
 		// Notify the primary with a mailbox SGI on core 0; if a guest is
 		// resident there, the SGI world-switches it out like any
@@ -766,6 +806,7 @@ func (h *Hypervisor) msgRecv(id VMID) (Message, error) {
 	}
 	msg := *vm.mailbox
 	vm.mailbox = nil
+	h.hypercall("msg_recv", vm)
 	return msg, nil
 }
 

@@ -77,6 +77,7 @@ func (h *Hypervisor) ShareMemory(kind ShareKind, from, to VMID, ipa, size uint64
 	if !ok {
 		return 0, 0, ErrBadVM
 	}
+	h.hypercall("mem_"+kind.String(), src)
 	if size == 0 || ipa%mem.PageSize != 0 || size%mem.PageSize != 0 {
 		return 0, 0, fmt.Errorf("hafnium: %v of unaligned region [%#x,+%#x)", kind, ipa, size)
 	}
@@ -172,6 +173,9 @@ func (h *Hypervisor) ReclaimMemory(by VMID, grantID uint64) error {
 	rec, ok := h.shares[grantID]
 	if !ok || !rec.active {
 		return fmt.Errorf("hafnium: no active grant %d", grantID)
+	}
+	if v, known := h.vms[by]; known {
+		h.hypercall("mem_reclaim", v)
 	}
 	if rec.From != by {
 		return fmt.Errorf("hafnium: VM %d cannot reclaim grant %d owned by VM %d", by, grantID, rec.From)

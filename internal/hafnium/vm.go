@@ -5,6 +5,7 @@ import (
 
 	"khsim/internal/machine"
 	"khsim/internal/mem"
+	"khsim/internal/metrics"
 	"khsim/internal/mmu"
 	"khsim/internal/sim"
 )
@@ -81,6 +82,13 @@ type VM struct {
 	restarts    int        // watchdog restarts performed so far
 	watchdog    *sim.Event // pending restart, while VMCrashed
 	crashReason string     // why the VM last crashed ("" if never)
+
+	// Hot-path registry counters, cached at build time.
+	mWorldSwitches *metrics.Counter
+	mSwitchCostPS  *metrics.Counter
+	mInjections    *metrics.Counter
+	mStage2Faults  *metrics.Counter
+	mRuns          *metrics.Counter
 }
 
 // ID reports the VM's identifier.
@@ -103,6 +111,16 @@ func (v *VM) CrashReason() string { return v.crashReason }
 
 // Spec returns the manifest entry the VM was built from.
 func (v *VM) Spec() VMSpec { return v.spec }
+
+// Node returns the machine the VM's hypervisor runs on.
+func (v *VM) Node() *machine.Node { return v.hyp.node }
+
+// Metric returns the VM-labelled counter guest.<name> from the node
+// registry; guest kernels use it to publish their own activity (ticks,
+// device IRQs) under this VM's label.
+func (v *VM) Metric(name string) *metrics.Counter {
+	return v.hyp.node.Metrics.Counter(metrics.K("guest", name).WithVM(v.spec.Name))
+}
 
 // VCPU returns the i'th virtual CPU.
 func (v *VM) VCPU(i int) *VCPU {
@@ -134,9 +152,11 @@ func (v *VM) MMIO() []mem.Region {
 func (v *VM) TranslateIPA(ipa uint64, want mmu.Perms) (mem.PA, error) {
 	pa, perms, _, ok := v.stage2.Translate(ipa)
 	if !ok {
+		v.mStage2Faults.Inc()
 		return 0, fmt.Errorf("hafnium: vm %d stage-2 abort at IPA %#x", v.id, ipa)
 	}
 	if !perms.Allows(want) {
+		v.mStage2Faults.Inc()
 		return 0, fmt.Errorf("hafnium: vm %d stage-2 permission fault at IPA %#x (%v, want %v)",
 			v.id, ipa, perms, want)
 	}
@@ -151,6 +171,12 @@ func (h *Hypervisor) buildVM(id VMID, spec VMSpec) (*VM, error) {
 		stage2:       mmu.NewTable(fmt.Sprintf("s2.%s", spec.Name)),
 		nextShareIPA: shareIPABase,
 	}
+	mx := h.node.Metrics
+	v.mWorldSwitches = mx.Counter(metrics.K("el2", "world_switches").WithVM(spec.Name))
+	v.mSwitchCostPS = mx.Counter(metrics.K("el2", "world_switch_ps").WithVM(spec.Name))
+	v.mInjections = mx.Counter(metrics.K("el2", "virq_injections").WithVM(spec.Name))
+	v.mStage2Faults = mx.Counter(metrics.K("el2", "stage2_faults").WithVM(spec.Name))
+	v.mRuns = mx.Counter(metrics.K("el2", "runs").WithVM(spec.Name))
 	// Allocate and map guest RAM. Secure VMs draw from the TrustZone
 	// carve-out; everyone else from non-secure DRAM.
 	alloc := h.nsAlloc

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"khsim/internal/metrics"
 	"khsim/internal/noise"
 	"khsim/internal/sim"
 	"khsim/internal/stats"
@@ -26,14 +27,29 @@ type Table struct {
 	Benches []string
 	Units   map[string]string
 	Cells   map[string]map[Config]stats.Summary
+	// Sidecars holds one metrics snapshot per cell, taken from the first
+	// trial of each (benchmark, configuration) pair. paperbench writes
+	// them next to the figures they accompany.
+	Sidecars map[string]map[Config]*metrics.Snapshot
 }
 
 func newTable(title string) *Table {
 	return &Table{
-		Title: title,
-		Units: map[string]string{},
-		Cells: map[string]map[Config]stats.Summary{},
+		Title:    title,
+		Units:    map[string]string{},
+		Cells:    map[string]map[Config]stats.Summary{},
+		Sidecars: map[string]map[Config]*metrics.Snapshot{},
 	}
+}
+
+func (t *Table) sidecar(bench string, cfg Config, snap *metrics.Snapshot) {
+	if snap == nil {
+		return
+	}
+	if t.Sidecars[bench] == nil {
+		t.Sidecars[bench] = map[Config]*metrics.Snapshot{}
+	}
+	t.Sidecars[bench][cfg] = snap
 }
 
 func (t *Table) add(bench, units string, cfg Config, s stats.Summary) {
@@ -145,6 +161,7 @@ func runBenchTable(title string, specs []workload.Spec, trials int, seed uint64)
 func runBenchTableWith(title string, specs []workload.Spec, trials int, seed uint64, workers int) (*Table, error) {
 	type result struct {
 		rate float64
+		snap *metrics.Snapshot
 		err  error
 	}
 	stream := sim.NewSeedStream(seed)
@@ -166,8 +183,15 @@ func runBenchTableWith(title string, specs []workload.Spec, trials int, seed uin
 				si := idx / (len(Configs) * trials)
 				ci := (idx / trials) % len(Configs)
 				ti := idx % trials
-				res, err := RunWorkload(Configs[ci], specs[si], stream.Seed(ti))
-				results[idx] = result{rate: res.Rate, err: err}
+				if ti == 0 {
+					// The first trial of each cell also carries the
+					// metrics sidecar; snapshots never perturb the run.
+					res, snap, err := RunWorkloadMetrics(Configs[ci], specs[si], stream.Seed(ti))
+					results[idx] = result{rate: res.Rate, snap: snap, err: err}
+				} else {
+					res, err := RunWorkload(Configs[ci], specs[si], stream.Seed(ti))
+					results[idx] = result{rate: res.Rate, err: err}
+				}
 			}
 		}()
 	}
@@ -190,6 +214,9 @@ func runBenchTableWith(title string, specs []workload.Spec, trials int, seed uin
 					return nil, r.err
 				}
 				s.Add(r.rate)
+				if ti == 0 {
+					t.sidecar(spec.Name, cfg, r.snap)
+				}
 			}
 			t.add(spec.Name, spec.Units, cfg, s.Summarize())
 		}

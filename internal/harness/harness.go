@@ -9,6 +9,7 @@ import (
 
 	"khsim/internal/core"
 	"khsim/internal/kitten"
+	"khsim/internal/machine"
 	"khsim/internal/noise"
 	"khsim/internal/osapi"
 	"khsim/internal/sim"
@@ -67,17 +68,46 @@ memory_mb = 512
 working_set_pages = 256
 `
 
+// ParseConfig maps a configuration name ("native", "kitten", "linux")
+// back to its Config.
+func ParseConfig(name string) (Config, bool) {
+	for _, c := range Configs {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
 // runProcess executes proc to completion in the given configuration and
 // reports an error if it does not finish within horizon.
 func runProcess(cfg Config, seed uint64, proc osapi.Process, finished func() bool, horizon sim.Duration) error {
+	_, err := runProcessNode(cfg, seed, proc, finished, horizon)
+	return err
+}
+
+// runProcessNode is runProcess exposing the simulated machine, so callers
+// can collect a metrics snapshot or trace after the run completes.
+func runProcessNode(cfg Config, seed uint64, proc osapi.Process, finished func() bool, horizon sim.Duration) (*machine.Node, error) {
+	return runProcessNodeOpt(cfg, seed, proc, finished, horizon, false)
+}
+
+// runProcessNodeOpt additionally enables execution-slice trace spans
+// before the engine runs, for the Perfetto exporter.
+func runProcessNodeOpt(cfg Config, seed uint64, proc osapi.Process, finished func() bool, horizon sim.Duration, spans bool) (*machine.Node, error) {
+	var node *machine.Node
 	switch cfg {
 	case Native:
 		n, err := core.NewNativeNode(seed, kitten.Params{})
 		if err != nil {
-			return err
+			return nil, err
+		}
+		node = n.Machine
+		if spans {
+			node.Trace.SetSpans(true)
 		}
 		if _, err := n.Kernel.Spawn(proc.Name(), 0, proc); err != nil {
-			return err
+			return nil, err
 		}
 		n.Run(horizon)
 	case KittenVM, LinuxVM:
@@ -91,24 +121,28 @@ func runProcess(cfg Config, seed uint64, proc osapi.Process, finished func() boo
 			Scheduler: sched,
 		})
 		if err != nil {
-			return err
+			return nil, err
+		}
+		node = n.Machine
+		if spans {
+			node.Trace.SetSpans(true)
 		}
 		guest := kitten.NewGuest(kitten.DefaultParams())
 		guest.Attach(0, proc)
 		if err := n.AttachGuest("job", guest); err != nil {
-			return err
+			return nil, err
 		}
 		if err := n.Boot(); err != nil {
-			return err
+			return nil, err
 		}
 		n.Run(horizon)
 	default:
-		return fmt.Errorf("harness: unknown config %v", cfg)
+		return nil, fmt.Errorf("harness: unknown config %v", cfg)
 	}
 	if !finished() {
-		return fmt.Errorf("harness: %s did not finish within %v on %v", proc.Name(), horizon, cfg)
+		return nil, fmt.Errorf("harness: %s did not finish within %v on %v", proc.Name(), horizon, cfg)
 	}
-	return nil
+	return node, nil
 }
 
 // RunCustom boots a secure node with explicit options, runs proc on VCPU 0

@@ -102,15 +102,19 @@ func TestFig6LinuxVMNoiseProfile(t *testing.T) {
 		t.Fatalf("linux gap CoV %v not ≫ native %v (not 'more randomly distributed')",
 			lGaps.CoV(), nGaps.CoV())
 	}
-	kSpread := kvm.DurationsMicros().Max() / kvm.DurationsMicros().Mean()
-	lSpread := lvm.DurationsMicros().Max() / lvm.DurationsMicros().Mean()
+	kMax, kOK := kvm.DurationsMicros().Max()
+	lMax, lOK := lvm.DurationsMicros().Max()
+	if !kOK || !lOK {
+		t.Fatal("expected non-empty detour samples")
+	}
+	kSpread := kMax / kvm.DurationsMicros().Mean()
+	lSpread := lMax / lvm.DurationsMicros().Mean()
 	if lSpread < 3*kSpread {
 		t.Fatalf("linux duration spread %v not ≫ kitten %v", lSpread, kSpread)
 	}
 	// Max detours are an order of magnitude above Kitten's.
-	if lvm.DurationsMicros().Max() < 5*kvm.DurationsMicros().Max() {
-		t.Fatalf("linux max detour %vus vs kitten %vus",
-			lvm.DurationsMicros().Max(), kvm.DurationsMicros().Max())
+	if lMax < 5*kMax {
+		t.Fatalf("linux max detour %vus vs kitten %vus", lMax, kMax)
 	}
 }
 

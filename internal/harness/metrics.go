@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"khsim/internal/metrics"
+	"khsim/internal/noise"
+	"khsim/internal/sim"
+	"khsim/internal/workload"
+)
+
+// RunSelfishMetrics is RunSelfish plus the node's end-of-run metrics
+// snapshot: hypervisor, kernel, guest and engine counters keyed by
+// subsystem, VM and core.
+func RunSelfishMetrics(cfg Config, seed uint64, runTime sim.Duration) (*noise.SelfishResult, *metrics.Snapshot, error) {
+	s := noise.NewSelfish(cfg.String(), runTime)
+	horizon := runTime + runTime/2 + sim.FromSeconds(2)
+	node, err := runProcessNode(cfg, seed, s, func() bool { return s.Result.Finished }, horizon)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &s.Result, node.SnapshotMetrics(), nil
+}
+
+// RunWorkloadMetrics is RunWorkload plus the node's end-of-run metrics
+// snapshot.
+func RunWorkloadMetrics(cfg Config, spec workload.Spec, seed uint64) (workload.Result, *metrics.Snapshot, error) {
+	env := workload.Env{TwoStage: cfg.TwoStage(), RNG: sim.NewRNG(seed*2654435761 + uint64(cfg))}
+	r := workload.New(spec, env)
+	est := sim.FromSeconds(spec.TotalOps / spec.NativeRate)
+	horizon := est*2 + sim.FromSeconds(2)
+	node, err := runProcessNode(cfg, seed, r, func() bool { return r.Result.Finished }, horizon)
+	if err != nil {
+		return workload.Result{}, nil, err
+	}
+	return r.Result, node.SnapshotMetrics(), nil
+}
+
+// RunSelfishTraced is RunSelfish with execution-slice trace spans enabled;
+// it returns the node's trace for export (`khsim trace -format=perfetto`).
+func RunSelfishTraced(cfg Config, seed uint64, runTime sim.Duration) (*noise.SelfishResult, *sim.Trace, error) {
+	s := noise.NewSelfish(cfg.String(), runTime)
+	horizon := runTime + runTime/2 + sim.FromSeconds(2)
+	node, err := runProcessNodeOpt(cfg, seed, s, func() bool { return s.Result.Finished }, horizon, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &s.Result, node.Trace, nil
+}
+
+// RunWorkloadTraced is RunWorkload with execution-slice trace spans
+// enabled; it returns the node's trace for export.
+func RunWorkloadTraced(cfg Config, spec workload.Spec, seed uint64) (workload.Result, *sim.Trace, error) {
+	env := workload.Env{TwoStage: cfg.TwoStage(), RNG: sim.NewRNG(seed*2654435761 + uint64(cfg))}
+	r := workload.New(spec, env)
+	est := sim.FromSeconds(spec.TotalOps / spec.NativeRate)
+	horizon := est*2 + sim.FromSeconds(2)
+	node, err := runProcessNodeOpt(cfg, seed, r, func() bool { return r.Result.Finished }, horizon, true)
+	if err != nil {
+		return workload.Result{}, nil, err
+	}
+	return r.Result, node.Trace, nil
+}
+
+// SelfishExperimentMetrics is SelfishExperiment plus one metrics snapshot
+// per configuration, for the paperbench sidecar files.
+func SelfishExperimentMetrics(seed uint64, runTime sim.Duration) (map[Config]*noise.SelfishResult, map[Config]*metrics.Snapshot, error) {
+	out := map[Config]*noise.SelfishResult{}
+	snaps := map[Config]*metrics.Snapshot{}
+	for _, cfg := range Configs {
+		r, snap, err := RunSelfishMetrics(cfg, seed, runTime)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[cfg] = r
+		snaps[cfg] = snap
+	}
+	return out, snaps, nil
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"khsim/internal/metrics"
+	"khsim/internal/sim"
+	"khsim/internal/workload"
+)
+
+// TestMetricsSnapshotDeterministic pins the registry's core promise: two
+// runs with the same seed produce byte-identical snapshots.
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	run := func() string {
+		_, snap, err := RunWorkloadMetrics(KittenVM, workload.Stream(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap.Text()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed snapshots differ:\n%s\n---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty snapshot")
+	}
+}
+
+// TestMetricsSnapshotContents checks the cross-subsystem wiring: one
+// KittenVM run must account hypervisor, kernel, guest and machine
+// activity in a single snapshot.
+func TestMetricsSnapshotContents(t *testing.T) {
+	_, snap, err := RunWorkloadMetrics(KittenVM, workload.Stream(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []metrics.Key{
+		metrics.K("el2", "world_switches").WithVM("job"),
+		metrics.K("el2", "world_switch_ps").WithVM("job"),
+		metrics.K("el2", "runs").WithVM("job"),
+		metrics.K("el2", "virq_injections").WithVM("job"),
+		metrics.K("el2", "hypercall.run").WithVM("job"),
+		metrics.K("kernel", "ticks"),
+		metrics.K("guest", "ticks").WithVM("job"),
+	} {
+		if v, ok := snap.Counter(k); !ok || v == 0 {
+			t.Errorf("counter %s = %d (present=%v), want > 0", k, v, ok)
+		}
+	}
+	if v, ok := snap.Gauge(metrics.K("engine", "events_fired")); !ok || v == 0 {
+		t.Errorf("gauge engine.events_fired = %g (present=%v), want > 0", v, ok)
+	}
+	if snap.DroppedSeries != 0 {
+		t.Errorf("dropped series = %d, want 0", snap.DroppedSeries)
+	}
+	// Label cardinality stays tiny for a real run — far under the cap.
+	n := len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms)
+	if n == 0 || n > 256 {
+		t.Errorf("series count = %d, want within (0, 256]", n)
+	}
+}
+
+// TestNativeMetricsSnapshot: the native configuration has no hypervisor,
+// but kernel and engine accounting must still appear.
+func TestNativeMetricsSnapshot(t *testing.T) {
+	_, snap, err := RunWorkloadMetrics(Native, workload.Stream(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Counter(metrics.K("kernel", "ticks")); !ok || v == 0 {
+		t.Errorf("kernel.ticks = %d (present=%v), want > 0", v, ok)
+	}
+	if _, ok := snap.Counter(metrics.K("el2", "world_switches").WithVM("job")); ok {
+		t.Error("native run reports hypervisor world switches")
+	}
+}
+
+// TestPerfettoExportGolden runs the Fig-5 configuration with spans on,
+// exports Chrome trace-event JSON, and validates it: parseable, complete
+// events well-nested per thread, and byte-identical across same-seed
+// runs.
+func TestPerfettoExportGolden(t *testing.T) {
+	export := func() []byte {
+		_, trace, err := RunSelfishTraced(KittenVM, 3, sim.FromSeconds(0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trace.Len() == 0 {
+			t.Fatal("traced run recorded nothing")
+		}
+		var buf bytes.Buffer
+		if err := trace.WritePerfetto(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := export()
+	if err := sim.ValidatePerfetto(a); err != nil {
+		t.Fatalf("export failed validation: %v", err)
+	}
+	if !bytes.Contains(a, []byte(`"X"`)) {
+		t.Fatal("no execution spans in export")
+	}
+	if !bytes.Equal(a, export()) {
+		t.Fatal("same-seed Perfetto exports differ")
+	}
+}
+
+// TestTraceSpansOffByDefault: the plain harness entry points must not
+// record spans — the goldens depend on the default trace staying sparse.
+func TestTraceSpansOffByDefault(t *testing.T) {
+	spec := workload.Stream()
+	env := workload.Env{TwoStage: true, RNG: sim.NewRNG(1*2654435761 + uint64(KittenVM))}
+	r := workload.New(spec, env)
+	est := sim.FromSeconds(spec.TotalOps / spec.NativeRate)
+	node, err := runProcessNode(KittenVM, 1, r, func() bool { return r.Result.Finished }, est*2+sim.FromSeconds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range node.Trace.Records() {
+		if rec.Dur > 0 {
+			t.Fatalf("span recorded without opt-in: %+v", rec)
+		}
+	}
+}

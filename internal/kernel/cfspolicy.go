@@ -135,6 +135,7 @@ func (p *CFSPolicy) OnTick(k *Kernel, c *machine.Core) {
 	if tickDue {
 		cost += p.p.TickCost
 		k.ticks++
+		k.mTicks.Inc()
 		p.tickAt[id] = p.tickAt[id].Add(p.p.TickHz.Period())
 		// Charge the running entity one tick of vruntime.
 		if k.current[id] != nil {
@@ -158,6 +159,7 @@ func (p *CFSPolicy) OnTick(k *Kernel, c *machine.Core) {
 	c.Exec(k.cfg.Label+".tick", cost, func() {
 		for _, t := range woken {
 			k.wakeups++
+			k.mWakeups.Inc()
 			t.activations++
 			t.state = TaskReady
 			p.cfs[id].Enqueue(&t.ent)

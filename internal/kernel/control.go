@@ -28,6 +28,7 @@ func (k *Kernel) controlTask(c *machine.Core) {
 func (k *Kernel) ExecuteCommand(msg hafnium.Message) {
 	cmd, arg, _ := cutCommand(string(msg.Payload))
 	k.commands++
+	k.mCommands.Inc()
 	reply := func(s string) {
 		// Best effort: the sender may have a full mailbox.
 		_ = k.h.SendFromPrimary(msg.From, []byte(s))
@@ -54,6 +55,7 @@ func (k *Kernel) ExecuteCommand(msg hafnium.Message) {
 		reply("ok: " + arg + " is " + vm.State().String())
 	default:
 		k.badCommands++
+		k.mBadCommands.Inc()
 		k.node.Trace.Add(sim.Record{
 			At: k.node.Now(), Core: -1, Kind: "kernel.badcmd", Note: cmd,
 		})

@@ -129,6 +129,7 @@ func (g *Guest) HandleVIRQ(vc *hafnium.VCPU, virq int) {
 			cost = g.cfg.DevCost
 		}
 		g.devirqs++
+		vc.VM().Metric("device_irqs").Inc()
 		vc.Exec(g.cfg.Label+".dev", cost, func() {
 			if g.OnDeviceIRQ != nil {
 				g.OnDeviceIRQ(vc, virq)
@@ -146,6 +147,7 @@ func (g *Guest) tick(vc *hafnium.VCPU) {
 	}
 	vc.Exec(g.cfg.Label+".tick", cost, func() {
 		g.ticks++
+		vc.VM().Metric("ticks").Inc()
 		if g.running[vc.Index()] {
 			vc.ArmVTimerAfter(g.cfg.TickHz.Period())
 		}

@@ -19,6 +19,7 @@ import (
 	"khsim/internal/gic"
 	"khsim/internal/hafnium"
 	"khsim/internal/machine"
+	"khsim/internal/metrics"
 	"khsim/internal/osapi"
 	"khsim/internal/sim"
 )
@@ -120,6 +121,13 @@ type Kernel struct {
 	forwards    uint64
 	commands    uint64
 	badCommands uint64
+
+	// Cached registry counters mirroring the legacy counters above.
+	mTicks       *metrics.Counter
+	mWakeups     *metrics.Counter
+	mForwards    *metrics.Counter
+	mCommands    *metrics.Counter
+	mBadCommands *metrics.Counter
 }
 
 // NewPrimary builds a kernel in primary-VM mode over a hypervisor.
@@ -141,6 +149,12 @@ func newKernel(node *machine.Node, h *hafnium.Hypervisor, pol Policy, cfg Config
 		current: make([]*Task, len(node.Cores)),
 		vcTask:  make(map[*hafnium.VCPU]*Task),
 	}
+	mx := node.Metrics
+	k.mTicks = mx.Counter(metrics.K("kernel", "ticks"))
+	k.mWakeups = mx.Counter(metrics.K("kernel", "wakeups"))
+	k.mForwards = mx.Counter(metrics.K("kernel", "device_forwards"))
+	k.mCommands = mx.Counter(metrics.K("kernel", "commands"))
+	k.mBadCommands = mx.Counter(metrics.K("kernel", "bad_commands"))
 	pol.Attach(k)
 	return k
 }
@@ -337,6 +351,7 @@ func (k *Kernel) HandleIRQ(c *machine.Core, irq int) {
 			if super := k.h.Super(); super != nil {
 				if err := k.h.InjectDeviceIRQ(super.ID(), irq); err == nil {
 					k.forwards++
+					k.mForwards.Inc()
 				}
 			}
 			k.resume(c)

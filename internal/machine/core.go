@@ -128,6 +128,10 @@ func (c *Core) start(a *Activity) {
 
 func (c *Core) complete(a *Activity) {
 	c.busy += a.Remaining
+	// Each contiguous execution slice is one typed trace span; slices on
+	// one core never overlap, so the Perfetto export is well-nested by
+	// construction.
+	c.node.Trace.Span(c.curStart, a.Remaining, c.id, "exec", a.Label)
 	a.Remaining = 0
 	c.cur = nil
 	c.curEvent = nil
@@ -212,6 +216,7 @@ func (c *Core) suspendCurrent() {
 		a.Remaining = 0
 	}
 	c.busy += elapsed
+	c.node.Trace.Span(c.curStart, elapsed, c.id, "exec", a.Label)
 	a.preemptedAt = now
 	c.preempts++
 	if a.OnPreempt != nil {

@@ -11,6 +11,7 @@ import (
 
 	"khsim/internal/gic"
 	"khsim/internal/mem"
+	"khsim/internal/metrics"
 	"khsim/internal/mmu"
 	"khsim/internal/sim"
 	"khsim/internal/timer"
@@ -45,15 +46,16 @@ func PineA64Config(seed uint64) Config {
 
 // Node is the simulated machine.
 type Node struct {
-	Engine *sim.Engine
-	GIC    *gic.Distributor
-	Timers *timer.Bank
-	Cores  []*Core
-	Mem    *mem.Map
-	DRAM   DRAM
-	Costs  Costs
-	Freq   sim.Hertz
-	Trace  *sim.Trace
+	Engine  *sim.Engine
+	GIC     *gic.Distributor
+	Timers  *timer.Bank
+	Cores   []*Core
+	Mem     *mem.Map
+	DRAM    DRAM
+	Costs   Costs
+	Freq    sim.Hertz
+	Trace   *sim.Trace
+	Metrics *metrics.Registry
 
 	cfg Config
 }
@@ -86,15 +88,16 @@ func New(cfg Config) (*Node, error) {
 	eng := sim.NewEngine(cfg.Seed)
 	dist := gic.New(cfg.Cores, cfg.SPIs)
 	n := &Node{
-		Engine: eng,
-		GIC:    dist,
-		Timers: timer.NewBank(eng, dist, cfg.Cores),
-		Mem:    mem.NewMap(),
-		DRAM:   cfg.DRAM,
-		Costs:  cfg.Costs,
-		Freq:   cfg.Freq,
-		Trace:  sim.NewTrace(),
-		cfg:    cfg,
+		Engine:  eng,
+		GIC:     dist,
+		Timers:  timer.NewBank(eng, dist, cfg.Cores),
+		Mem:     mem.NewMap(),
+		DRAM:    cfg.DRAM,
+		Costs:   cfg.Costs,
+		Freq:    cfg.Freq,
+		Trace:   sim.NewTrace(),
+		Metrics: metrics.NewRegistry(),
+		cfg:     cfg,
 	}
 	if err := n.Mem.Add(mem.Region{Name: "dram", Base: DRAMBase, Size: uint64(cfg.DRAMMB) << 20}); err != nil {
 		return nil, err
@@ -142,3 +145,30 @@ func (n *Node) Cycles(c float64) sim.Duration { return sim.Cycles(c, n.Freq) }
 
 // Now is shorthand for the engine clock.
 func (n *Node) Now() sim.Time { return n.Engine.Now() }
+
+// SnapshotMetrics publishes the pull-side collectors — GIC delivery
+// counts, per-core TLB and execution accounting, engine totals — into
+// the registry as gauges and returns a canonical snapshot of every
+// series. Pull collectors run only here, at snapshot time, so leaving
+// metrics on never perturbs the simulation.
+func (n *Node) SnapshotMetrics() *metrics.Snapshot {
+	m := n.Metrics
+	g := n.GIC.Stats()
+	m.Gauge(metrics.K("gic", "raised")).Set(float64(g.Raised))
+	m.Gauge(metrics.K("gic", "acked")).Set(float64(g.Acked))
+	m.Gauge(metrics.K("gic", "eois")).Set(float64(g.EOIs))
+	m.Gauge(metrics.K("gic", "spurious")).Set(float64(g.Spurious))
+	m.Gauge(metrics.K("gic", "dropped")).Set(float64(g.Dropped))
+	for _, c := range n.Cores {
+		m.Gauge(metrics.K("core", "busy_ps").WithCore(c.id)).Set(float64(c.busy))
+		m.Gauge(metrics.K("core", "preemptions").WithCore(c.id)).Set(float64(c.preempts))
+		ts := c.tlb.Stats()
+		m.Gauge(metrics.K("tlb", "hits").WithCore(c.id)).Set(float64(ts.Hits))
+		m.Gauge(metrics.K("tlb", "misses").WithCore(c.id)).Set(float64(ts.Misses))
+		m.Gauge(metrics.K("tlb", "fills").WithCore(c.id)).Set(float64(ts.Fills))
+		m.Gauge(metrics.K("tlb", "invalidations").WithCore(c.id)).Set(float64(ts.Invalidations))
+	}
+	m.Gauge(metrics.K("engine", "events_fired")).Set(float64(n.Engine.Fired()))
+	m.Gauge(metrics.K("engine", "now_ps")).Set(float64(n.Engine.Now()))
+	return m.Snapshot()
+}

@@ -72,10 +72,9 @@ func (r *SelfishResult) DurationsMicros() *stats.Sample {
 // Summary formats the headline numbers of a run.
 func (r *SelfishResult) Summary() string {
 	ds := r.DurationsMicros()
-	mean, max := 0.0, 0.0
-	if ds.N() > 0 {
-		mean, max = ds.Mean(), ds.Max()
-	}
+	mean := ds.Mean()
+	max, _ := ds.Max() // 0 for an empty sample
+
 	return fmt.Sprintf("%-22s detours=%5d rate=%7.2f/s mean=%7.2fus max=%8.2fus stolen=%.4f%%",
 		r.Config, r.Count(), r.RatePerSecond(), mean, max, 100*r.StolenFraction())
 }

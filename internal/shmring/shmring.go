@@ -20,6 +20,7 @@ import (
 
 	"khsim/internal/hafnium"
 	"khsim/internal/mem"
+	"khsim/internal/metrics"
 	"khsim/internal/mmu"
 	"khsim/internal/sim"
 )
@@ -40,6 +41,17 @@ type Ring struct {
 	used     int      // reserved slots (occupancy, including in-flight pushes)
 	ready    int      // published messages not yet popped
 
+	// In-order publication state. A multi-VCPU producer can finish copies
+	// out of reservation order (a small payload overtakes a large one);
+	// the consumer must still only ever see a contiguous published prefix,
+	// exactly like a real SPSC ring's single published-tail index. Each
+	// completed copy marks its slot committed, then the publish cursor
+	// advances over every contiguous committed slot.
+	committed []bool
+	pub       int // next slot awaiting publication
+	popping   int // claimed messages whose copy-out is still in flight
+	wantBell  int // doorbell requests deferred until their push publishes
+
 	// overhead is the fixed per-operation cost (index update, barriers,
 	// cache-line ping-pong between the two cores).
 	overhead sim.Duration
@@ -51,6 +63,10 @@ type Ring struct {
 	draining bool
 
 	stats Stats
+
+	mPushed, mPopped       *metrics.Counter
+	mBytesIn, mBytesOut    *metrics.Counter
+	mDoorbells, mRejection *metrics.Counter
 }
 
 // Stats counts ring activity.
@@ -76,21 +92,44 @@ func Create(h *hafnium.Hypervisor, producer, consumer hafnium.VMID, prodIPA uint
 		return nil, fmt.Errorf("shmring: backing grant: %w", err)
 	}
 	node := h.Node()
-	return &Ring{
-		hyp:      h,
-		producer: producer,
-		consumer: consumer,
-		grantID:  grant,
-		consIPA:  consIPA,
-		slots:    slots,
-		slotSize: slotSize,
-		buf:      make([][]byte, slots),
-		overhead: node.Cycles(260), // two exclusive-access line transfers + barriers
-	}, nil
+	r := &Ring{
+		hyp:       h,
+		producer:  producer,
+		consumer:  consumer,
+		grantID:   grant,
+		consIPA:   consIPA,
+		slots:     slots,
+		slotSize:  slotSize,
+		buf:       make([][]byte, slots),
+		committed: make([]bool, slots),
+		overhead:  node.Cycles(260), // two exclusive-access line transfers + barriers
+	}
+	var prodName string
+	if vm, ok := h.VM(producer); ok {
+		prodName = vm.Name()
+	}
+	mx := node.Metrics
+	r.mPushed = mx.Counter(metrics.K("shmring", "pushed").WithVM(prodName))
+	r.mPopped = mx.Counter(metrics.K("shmring", "popped").WithVM(prodName))
+	r.mBytesIn = mx.Counter(metrics.K("shmring", "bytes_in").WithVM(prodName))
+	r.mBytesOut = mx.Counter(metrics.K("shmring", "bytes_out").WithVM(prodName))
+	r.mDoorbells = mx.Counter(metrics.K("shmring", "doorbells").WithVM(prodName))
+	r.mRejection = mx.Counter(metrics.K("shmring", "full_rejections").WithVM(prodName))
+	return r, nil
 }
 
 // Stats returns a snapshot of the counters.
 func (r *Ring) Stats() Stats { return r.stats }
+
+// Occupancy reports the ring's instantaneous accounting: used is every
+// reserved slot (published or not), ready the published-unconsumed
+// messages, pushing the reserved slots whose copy-in is still in flight,
+// and popping the claimed messages whose copy-out is still in flight.
+// At every instant used == ready + pushing and
+// Stats.Pushed == Stats.Popped + popping + ready (conservation).
+func (r *Ring) Occupancy() (used, ready, pushing, popping int) {
+	return r.used, r.ready, r.used - r.ready, r.popping
+}
 
 // Capacity reports slots and slot size.
 func (r *Ring) Capacity() (slots, slotSize int) { return r.slots, r.slotSize }
@@ -127,6 +166,7 @@ func (r *Ring) Push(vc *hafnium.VCPU, payload []byte, doorbell bool, done func(e
 	}
 	if r.used == r.slots {
 		r.stats.FullRejections++
+		r.mRejection.Inc()
 		done(fmt.Errorf("shmring: ring full"))
 		return
 	}
@@ -134,7 +174,8 @@ func (r *Ring) Push(vc *hafnium.VCPU, payload []byte, doorbell bool, done func(e
 	// doorbell nesting inside an earlier push/pop chain) must each see a
 	// consistent ring, exactly as the real protocol's index updates do.
 	// The message becomes visible to the consumer only once the copy
-	// completes (ready is the published-tail index).
+	// completes AND every earlier reservation has published — slots are
+	// published strictly in reservation order, never exposing a gap.
 	slot := r.tail
 	r.tail = (r.tail + 1) % r.slots
 	r.used++
@@ -142,12 +183,31 @@ func (r *Ring) Push(vc *hafnium.VCPU, payload []byte, doorbell bool, done func(e
 	copy(cp, payload)
 	vc.Exec("shmring.push", r.copyCost(len(payload)), func() {
 		r.buf[slot] = cp
-		r.ready++
-		r.stats.Pushed++
-		r.stats.BytesIn += uint64(len(cp))
-		var err error
+		r.committed[slot] = true
 		if doorbell {
+			// The doorbell belongs to this message's publication; if an
+			// earlier copy is still in flight, defer it to the completion
+			// that finally publishes this slot, or the consumer could ring
+			// on an empty prefix and the real message strand silently.
+			r.wantBell++
+		}
+		published := 0
+		for r.committed[r.pub] {
+			r.committed[r.pub] = false
+			r.ready++
+			r.stats.Pushed++
+			r.mPushed.Inc()
+			n := uint64(len(r.buf[r.pub]))
+			r.stats.BytesIn += n
+			r.mBytesIn.Add(n)
+			r.pub = (r.pub + 1) % r.slots
+			published++
+		}
+		var err error
+		if published > 0 && r.wantBell > 0 {
+			r.wantBell = 0
 			r.stats.Doorbells++
+			r.mDoorbells.Inc()
 			err = vc.Notify(r.consumer)
 		}
 		done(err)
@@ -166,16 +226,21 @@ func (r *Ring) Pop(vc *hafnium.VCPU, done func(payload []byte, ok bool)) {
 		return
 	}
 	// Claim the message synchronously (see Push); the slot is free for
-	// reuse as soon as the contents are taken.
+	// reuse as soon as the contents are taken. The claimed message counts
+	// as in flight (popping) until its copy-out completes.
 	slot := r.head
 	r.head = (r.head + 1) % r.slots
 	r.ready--
 	r.used--
+	r.popping++
 	msg := r.buf[slot]
 	r.buf[slot] = nil
 	vc.Exec("shmring.pop", r.copyCost(len(msg)), func() {
+		r.popping--
 		r.stats.Popped++
+		r.mPopped.Inc()
 		r.stats.BytesOut += uint64(len(msg))
+		r.mBytesOut.Add(uint64(len(msg)))
 		done(msg, true)
 	})
 }

@@ -1,0 +1,227 @@
+package shmring
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"khsim/internal/hafnium"
+	"khsim/internal/kitten"
+	"khsim/internal/machine"
+	"khsim/internal/osapi"
+	"khsim/internal/sim"
+)
+
+// wrapManifest gives the producer two VCPUs on two cores, so two pushes
+// can be in flight at once and a fast small-payload copy can complete
+// before an earlier-reserved large-payload copy — the out-of-order
+// scenario the in-order publication cursor exists for.
+const wrapManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 128
+
+[vm producer]
+class = secondary
+vcpus = 2
+memory_mb = 128
+
+[vm consumer]
+class = secondary
+vcpus = 1
+memory_mb = 128
+`
+
+// wrapPusher pushes its messages sequentially from one producer VCPU,
+// backing off and retrying on full-ring rejections, and runs the
+// conservation check at every completion.
+type wrapPusher struct {
+	ring     *Ring
+	vc       *hafnium.VCPU
+	msgs     [][]byte
+	check    func(ctx string)
+	rejects  int
+	finished bool
+}
+
+func (p *wrapPusher) Name() string { return fmt.Sprintf("pusher%d", p.vc.Index()) }
+
+func (p *wrapPusher) Main(x osapi.Executor) {
+	var push func(i int)
+	push = func(i int) {
+		if i == len(p.msgs) {
+			p.finished = true
+			x.Done()
+			return
+		}
+		p.ring.Push(p.vc, p.msgs[i], true, func(err error) {
+			p.check(fmt.Sprintf("push vcpu%d msg%d", p.vc.Index(), i))
+			if err != nil {
+				p.rejects++
+				p.vc.Exec("backoff", sim.FromMicros(5), func() { push(i) })
+				return
+			}
+			push(i + 1)
+		})
+	}
+	push(0)
+}
+
+// TestOccupancyConservedAcrossWraps is the regression test for the ring
+// occupancy audit: with a two-VCPU producer racing large and small
+// copies, the ring wraps many times while pushes and pops are in flight.
+// At every completion the accounting must conserve:
+//
+//	used == ready + pushing
+//	Pushed == Popped + popping + ready
+//
+// and at the end every message must have arrived intact, exactly once,
+// with per-VCPU FIFO order — the consumer must never observe a slot
+// whose copy-in (or an earlier reservation's copy-in) has not finished.
+func TestOccupancyConservedAcrossWraps(t *testing.T) {
+	m, err := hafnium.ParseManifest(wrapManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := machine.MustNew(machine.PineA64Config(17))
+	h, err := hafnium.New(node, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim := kitten.NewPrimary(h, kitten.DefaultParams())
+	h.AttachPrimary(prim)
+	prodG := kitten.NewGuest(kitten.DefaultParams())
+	consG := kitten.NewGuest(kitten.DefaultParams())
+	producer, _ := h.VMByName("producer")
+	consumer, _ := h.VMByName("consumer")
+	if err := h.AttachGuest(producer.ID(), prodG); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AttachGuest(consumer.ID(), consG); err != nil {
+		t.Fatal(err)
+	}
+	if err := prim.AddVM(producer, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := prim.AddVM(consumer, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Boot(); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		slots    = 4
+		slotSize = 32 << 10
+		perVCPU  = 48 // 96 messages over 4 slots: 24 full wraps
+	)
+	base, _ := producer.RAM()
+	ring, err := Create(h, producer.ID(), consumer.ID(), base, slots, slotSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var violations []string
+	violate := func(format string, args ...interface{}) {
+		if len(violations) < 10 {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+	}
+	maxPushing := 0
+	check := func(ctx string) {
+		st := ring.Stats()
+		used, ready, pushing, popping := ring.Occupancy()
+		if pushing > maxPushing {
+			maxPushing = pushing
+		}
+		if used != ready+pushing {
+			violate("%s: used=%d != ready=%d + pushing=%d", ctx, used, ready, pushing)
+		}
+		if used < 0 || ready < 0 || pushing < 0 || popping < 0 || used > slots {
+			violate("%s: occupancy out of range used=%d ready=%d pushing=%d popping=%d",
+				ctx, used, ready, pushing, popping)
+		}
+		if st.Pushed != st.Popped+uint64(popping)+uint64(ready) {
+			violate("%s: Pushed=%d != Popped=%d + popping=%d + ready=%d",
+				ctx, st.Pushed, st.Popped, popping, ready)
+		}
+	}
+
+	// VCPU 0 pushes large payloads (slow copies), VCPU 1 small ones (fast
+	// copies that overtake). Byte 0 tags the VCPU, byte 1 the sequence.
+	mkMsgs := func(tag byte, size int) [][]byte {
+		var out [][]byte
+		for i := 0; i < perVCPU; i++ {
+			msg := bytes.Repeat([]byte{byte(i)}, size)
+			msg[0], msg[1] = tag, byte(i)
+			out = append(out, msg)
+		}
+		return out
+	}
+	p0 := &wrapPusher{ring: ring, vc: producer.VCPU(0), msgs: mkMsgs(0, 16<<10), check: check}
+	p1 := &wrapPusher{ring: ring, vc: producer.VCPU(1), msgs: mkMsgs(1, 64), check: check}
+	prodG.Attach(0, p0)
+	prodG.Attach(1, p1)
+
+	received := map[byte][]byte{} // tag -> sequence bytes in arrival order
+	consG.OnNotification = func(vc *hafnium.VCPU) {
+		ring.Drain(vc, func(p []byte) {
+			check("pop")
+			if len(p) < 2 {
+				violate("consumer received short/unpublished payload %v", p)
+				return
+			}
+			tag, seq := p[0], p[1]
+			for _, b := range p[2:] {
+				if b != seq {
+					violate("payload tag=%d seq=%d corrupted (byte %d)", tag, seq, b)
+					break
+				}
+			}
+			received[tag] = append(received[tag], seq)
+		}, func(n int) {})
+	}
+
+	node.Engine.Run(sim.Time(sim.FromSeconds(10)))
+
+	if !p0.finished || !p1.finished {
+		t.Fatalf("pushers unfinished: p0=%v p1=%v", p0.finished, p1.finished)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+	if len(violations) > 0 {
+		t.FailNow()
+	}
+	// Everything delivered, per-VCPU FIFO, nothing duplicated or lost.
+	for tag := byte(0); tag < 2; tag++ {
+		seqs := received[tag]
+		if len(seqs) != perVCPU {
+			t.Fatalf("vcpu%d: received %d/%d messages", tag, len(seqs), perVCPU)
+		}
+		for i, s := range seqs {
+			if s != byte(i) {
+				t.Fatalf("vcpu%d: message %d arrived out of order (seq %d)", tag, i, s)
+			}
+		}
+	}
+	st := ring.Stats()
+	if st.Pushed != 2*perVCPU || st.Popped != 2*perVCPU {
+		t.Fatalf("Pushed=%d Popped=%d, want %d each", st.Pushed, st.Popped, 2*perVCPU)
+	}
+	if st.BytesIn != st.BytesOut {
+		t.Fatalf("BytesIn=%d != BytesOut=%d", st.BytesIn, st.BytesOut)
+	}
+	used, ready, pushing, popping := ring.Occupancy()
+	if used != 0 || ready != 0 || pushing != 0 || popping != 0 {
+		t.Fatalf("ring not empty at end: used=%d ready=%d pushing=%d popping=%d",
+			used, ready, pushing, popping)
+	}
+	if maxPushing < 2 {
+		t.Fatalf("maxPushing=%d: the two producer VCPUs never overlapped, scenario lost its race", maxPushing)
+	}
+	if err := h.VerifyIsolation(); err != nil {
+		t.Fatal(err)
+	}
+}

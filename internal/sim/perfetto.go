@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event JSON export (the format Perfetto and
+// chrome://tracing load natively). Spans become "X" complete events,
+// point records become "i" instant events; each core maps to one thread
+// of a single simulated-node process, node-global records (Core < 0) to
+// a dedicated "node" thread. Timestamps are microseconds (float, so the
+// picosecond base survives).
+//
+// Format reference: the Trace Event Format described for
+// chrome://tracing; Perfetto's JSON importer accepts the same shape.
+
+// nodeTid is the synthetic thread id for Core < 0 records.
+const nodeTid = 1000
+
+type perfettoEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type perfettoDoc struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit,omitempty"`
+}
+
+func recTid(core int) int {
+	if core < 0 {
+		return nodeTid
+	}
+	return core
+}
+
+// WritePerfetto serializes the trace as Chrome trace-event JSON. Events
+// are emitted in (At, Seq) order, so same-seed runs produce byte-equal
+// files.
+func (t *Trace) WritePerfetto(w io.Writer) error {
+	doc := perfettoDoc{DisplayTimeUnit: "ns", TraceEvents: []perfettoEvent{}}
+
+	doc.TraceEvents = append(doc.TraceEvents, perfettoEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]interface{}{"name": "khsim-node"},
+	})
+	tids := map[int]bool{}
+	for _, r := range t.Records() {
+		tids[recTid(r.Core)] = true
+	}
+	order := make([]int, 0, len(tids))
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	sort.Ints(order)
+	for _, tid := range order {
+		name := fmt.Sprintf("core %d", tid)
+		if tid == nodeTid {
+			name = "node"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]interface{}{"name": name},
+		})
+	}
+
+	for _, r := range t.Sorted() {
+		name := r.Note
+		if name == "" {
+			name = r.Kind
+		}
+		ev := perfettoEvent{
+			Name: name,
+			Cat:  r.Kind,
+			Ts:   float64(r.At) / 1e6, // ps -> µs
+			Pid:  1,
+			Tid:  recTid(r.Core),
+		}
+		if r.Value != 0 {
+			ev.Args = map[string]interface{}{"value": r.Value}
+		}
+		if r.Dur > 0 {
+			d := float64(r.Dur) / 1e6
+			ev.Ph, ev.Dur = "X", &d
+		} else {
+			ev.Ph, ev.S = "i", "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ValidatePerfetto checks that data parses as Chrome trace-event JSON
+// and that, per thread, the "X" complete events are well-nested: sorted
+// by start time, every event either follows the previous one or nests
+// strictly inside it. This is the schema/determinism gate CI runs on the
+// exported trace.
+func ValidatePerfetto(data []byte) error {
+	var doc perfettoDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("perfetto: invalid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("perfetto: missing traceEvents array")
+	}
+	type span struct{ start, end float64 }
+	perThread := map[[2]int][]span{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "" {
+			return fmt.Errorf("perfetto: event %d has no phase", i)
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("perfetto: event %d has no name", i)
+		}
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			return fmt.Errorf("perfetto: complete event %d (%s) has invalid dur", i, ev.Name)
+		}
+		key := [2]int{ev.Pid, ev.Tid}
+		perThread[key] = append(perThread[key], span{ev.Ts, ev.Ts + *ev.Dur})
+	}
+	// Tolerance for the ps -> µs float conversion.
+	const eps = 1e-6
+	for key, spans := range perThread {
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].start != spans[j].start {
+				return spans[i].start < spans[j].start
+			}
+			return spans[i].end > spans[j].end // outer span first
+		})
+		var stack []span
+		for _, s := range spans {
+			for len(stack) > 0 && s.start >= stack[len(stack)-1].end-eps {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && s.end > stack[len(stack)-1].end+eps {
+				return fmt.Errorf(
+					"perfetto: overlapping spans on pid=%d tid=%d: [%g,%g] crosses [%g,%g]",
+					key[0], key[1], s.start, s.end,
+					stack[len(stack)-1].start, stack[len(stack)-1].end)
+			}
+			stack = append(stack, s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func perfettoTrace() *Trace {
+	tr := NewTrace()
+	tr.SetSpans(true)
+	tr.Span(0, 1000, 0, "exec", "job")
+	tr.Span(2000, 500, 0, "exec", "job")
+	tr.Span(0, 3000, 1, "exec", "primary")
+	tr.Add(Record{At: 1500, Core: -1, Kind: "kernel.badcmd", Note: "frob"})
+	tr.Add(Record{At: 800, Core: 0, Kind: "detour", Value: 12.5})
+	return tr
+}
+
+func TestWritePerfettoValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := perfettoTrace().WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePerfetto(buf.Bytes()); err != nil {
+		t.Fatalf("export fails its own validator: %v", err)
+	}
+	// Structural spot checks on the decoded document.
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var phX, phI, phM int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			phX++
+		case "i":
+			phI++
+		case "M":
+			phM++
+		}
+	}
+	if phX != 3 {
+		t.Fatalf("complete events = %d, want 3", phX)
+	}
+	if phI != 2 {
+		t.Fatalf("instant events = %d, want 2", phI)
+	}
+	// process_name + thread names for core 0, core 1 and the node thread.
+	if phM != 4 {
+		t.Fatalf("metadata events = %d, want 4", phM)
+	}
+	if !strings.Contains(buf.String(), `"khsim-node"`) {
+		t.Fatalf("missing process name: %s", buf.String())
+	}
+}
+
+func TestWritePerfettoDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := perfettoTrace().WritePerfetto(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := perfettoTrace().WritePerfetto(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same trace serialized differently:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+func TestValidatePerfettoRejectsOverlap(t *testing.T) {
+	// Two spans on one thread that cross without nesting.
+	doc := `{"traceEvents":[
+		{"name":"a","ph":"X","ts":0,"dur":100,"pid":1,"tid":0},
+		{"name":"b","ph":"X","ts":50,"dur":100,"pid":1,"tid":0}
+	]}`
+	if err := ValidatePerfetto([]byte(doc)); err == nil {
+		t.Fatal("overlapping spans validated")
+	}
+	// The same two spans on different threads are fine.
+	doc = `{"traceEvents":[
+		{"name":"a","ph":"X","ts":0,"dur":100,"pid":1,"tid":0},
+		{"name":"b","ph":"X","ts":50,"dur":100,"pid":1,"tid":1}
+	]}`
+	if err := ValidatePerfetto([]byte(doc)); err != nil {
+		t.Fatalf("cross-thread spans rejected: %v", err)
+	}
+	// Strict nesting is fine.
+	doc = `{"traceEvents":[
+		{"name":"a","ph":"X","ts":0,"dur":100,"pid":1,"tid":0},
+		{"name":"b","ph":"X","ts":10,"dur":20,"pid":1,"tid":0}
+	]}`
+	if err := ValidatePerfetto([]byte(doc)); err != nil {
+		t.Fatalf("nested spans rejected: %v", err)
+	}
+}
+
+func TestValidatePerfettoRejectsMalformed(t *testing.T) {
+	if err := ValidatePerfetto([]byte("{nope")); err == nil {
+		t.Fatal("invalid JSON validated")
+	}
+	if err := ValidatePerfetto([]byte(`{"displayTimeUnit":"ns"}`)); err == nil {
+		t.Fatal("document without traceEvents validated")
+	}
+	if err := ValidatePerfetto([]byte(`{"traceEvents":[{"name":"a","ts":0,"pid":1,"tid":0}]}`)); err == nil {
+		t.Fatal("event without phase validated")
+	}
+	if err := ValidatePerfetto([]byte(`{"traceEvents":[{"ph":"i","ts":0,"pid":1,"tid":0}]}`)); err == nil {
+		t.Fatal("event without name validated")
+	}
+	if err := ValidatePerfetto([]byte(`{"traceEvents":[{"name":"a","ph":"X","ts":0,"pid":1,"tid":0}]}`)); err == nil {
+		t.Fatal("complete event without dur validated")
+	}
+}

@@ -7,9 +7,12 @@ import (
 )
 
 // Record is a single trace entry: something happened at a time on a core
-// (or core -1 for node-global events).
+// (or core -1 for node-global events). A Record with Dur > 0 is a typed
+// span covering [At, At+Dur); Dur == 0 is a point event.
 type Record struct {
 	At    Time
+	Dur   Duration // 0 = point event; > 0 = span [At, At+Dur)
+	Seq   uint64   // insertion index, assigned by Add; breaks At ties
 	Core  int
 	Kind  string
 	Value float64
@@ -21,21 +24,50 @@ type Record struct {
 // enough to leave enabled: appends are amortized O(1).
 type Trace struct {
 	records []Record
+	nextSeq uint64
 	enabled bool
+	spans   bool
 }
 
-// NewTrace returns an enabled, empty trace.
+// NewTrace returns an enabled, empty trace. Span recording starts off;
+// callers that want execution spans (the Perfetto export) opt in with
+// SetSpans.
 func NewTrace() *Trace { return &Trace{enabled: true} }
 
 // SetEnabled toggles recording; Add on a disabled trace is a no-op.
 func (t *Trace) SetEnabled(on bool) { t.enabled = on }
 
-// Add appends a record.
+// SetSpans toggles span recording (the per-slice execution records the
+// cores emit). Off by default: point records are cheap and sparse, spans
+// are one per scheduling slice.
+func (t *Trace) SetSpans(on bool) {
+	if t == nil {
+		return
+	}
+	t.spans = on
+}
+
+// SpansEnabled reports whether Span records anything.
+func (t *Trace) SpansEnabled() bool { return t != nil && t.enabled && t.spans }
+
+// Add appends a record, stamping it with the next insertion index so
+// same-timestamp records keep a total, run-stable order.
 func (t *Trace) Add(rec Record) {
 	if t == nil || !t.enabled {
 		return
 	}
+	rec.Seq = t.nextSeq
+	t.nextSeq++
 	t.records = append(t.records, rec)
+}
+
+// Span records a typed span if span recording is enabled. The span
+// covers [at, at+dur); zero-duration spans are dropped.
+func (t *Trace) Span(at Time, dur Duration, core int, kind, note string) {
+	if !t.SpansEnabled() || dur <= 0 {
+		return
+	}
+	t.Add(Record{At: at, Dur: dur, Core: core, Kind: kind, Note: note})
 }
 
 // Len reports the number of records.
@@ -54,7 +86,33 @@ func (t *Trace) Records() []Record {
 	return t.records
 }
 
-// Filter returns the records whose Kind equals kind, in time order.
+// byTimeSeq orders records by (At, Seq): time first, insertion order as
+// the tiebreak. Seq is unique per trace, so this is a total order and
+// any sort under it is deterministic.
+func byTimeSeq(recs []Record) func(i, j int) bool {
+	return func(i, j int) bool {
+		if recs[i].At != recs[j].At {
+			return recs[i].At < recs[j].At
+		}
+		return recs[i].Seq < recs[j].Seq
+	}
+}
+
+// Sorted returns a copy of all records ordered by (At, Seq). Spans are
+// recorded at slice end with At = slice start, so raw insertion order is
+// not time order once spans are on.
+func (t *Trace) Sorted() []Record {
+	if t == nil {
+		return nil
+	}
+	out := make([]Record, len(t.records))
+	copy(out, t.records)
+	sort.Slice(out, byTimeSeq(out))
+	return out
+}
+
+// Filter returns the records whose Kind equals kind, ordered by
+// (At, Seq) — same-timestamp records keep their insertion order.
 func (t *Trace) Filter(kind string) []Record {
 	if t == nil {
 		return nil
@@ -65,7 +123,7 @@ func (t *Trace) Filter(kind string) []Record {
 			out = append(out, r)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	sort.Slice(out, byTimeSeq(out))
 	return out
 }
 

@@ -33,6 +33,76 @@ func TestTraceDisabled(t *testing.T) {
 	}
 }
 
+// TestTraceFilterSameTimestampStable is the regression test for the
+// Filter ordering bug: records sharing a timestamp used to come back in
+// whatever order the unstable sort left them. They must keep insertion
+// order — (At, Seq) is a total order, so the result is deterministic.
+func TestTraceFilterSameTimestampStable(t *testing.T) {
+	tr := NewTrace()
+	const n = 64
+	for i := 0; i < n; i++ {
+		// All at the same instant, values encode insertion order.
+		tr.Add(Record{At: 100, Core: i % 4, Kind: "detour", Value: float64(i)})
+	}
+	tr.Add(Record{At: 50, Kind: "detour", Value: -1})
+	for trial := 0; trial < 10; trial++ {
+		got := tr.Filter("detour")
+		if len(got) != n+1 {
+			t.Fatalf("Filter returned %d records, want %d", len(got), n+1)
+		}
+		if got[0].Value != -1 {
+			t.Fatalf("earlier record not first: %+v", got[0])
+		}
+		for i := 0; i < n; i++ {
+			if got[i+1].Value != float64(i) {
+				t.Fatalf("trial %d: same-timestamp records reordered at %d: got value %g, want %d",
+					trial, i, got[i+1].Value, i)
+			}
+		}
+	}
+}
+
+func TestTraceSortedByTimeSeq(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Record{At: 30, Kind: "b"})
+	tr.Add(Record{At: 10, Kind: "a"})
+	tr.Add(Record{At: 30, Kind: "c"})
+	got := tr.Sorted()
+	kinds := []string{got[0].Kind, got[1].Kind, got[2].Kind}
+	if kinds[0] != "a" || kinds[1] != "b" || kinds[2] != "c" {
+		t.Fatalf("Sorted order = %v, want [a b c]", kinds)
+	}
+	// The original slice keeps insertion order.
+	if tr.Records()[0].Kind != "b" {
+		t.Fatalf("Sorted mutated the underlying records")
+	}
+}
+
+func TestTraceSpanGating(t *testing.T) {
+	tr := NewTrace()
+	tr.Span(0, 100, 0, "exec", "off-by-default")
+	if tr.Len() != 0 {
+		t.Fatal("span recorded while spans disabled")
+	}
+	tr.SetSpans(true)
+	tr.Span(0, 0, 0, "exec", "zero-dur") // dropped
+	tr.Span(0, 100, 0, "exec", "real")
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (zero-duration span must drop)", tr.Len())
+	}
+	if r := tr.Records()[0]; r.Dur != 100 || r.Kind != "exec" {
+		t.Fatalf("span record = %+v", r)
+	}
+	tr.SetEnabled(false)
+	tr.Span(0, 100, 0, "exec", "disabled-trace")
+	if tr.Len() != 1 {
+		t.Fatal("span recorded on disabled trace")
+	}
+	var nilTrace *Trace
+	nilTrace.SetSpans(true)           // must not panic
+	nilTrace.Span(0, 10, 0, "x", "y") // must not panic
+}
+
 func TestTraceReset(t *testing.T) {
 	tr := NewTrace()
 	tr.Add(Record{At: 1, Kind: "x"})

@@ -11,22 +11,24 @@ import (
 )
 
 // Sample accumulates observations and produces summary statistics.
-// The zero value is an empty sample ready for use.
+// The zero value is an empty sample ready for use. Observations keep
+// their insertion order: Values() always returns the time series as it
+// was added, even after percentile queries (which sort a cached copy).
 type Sample struct {
-	values []float64
-	sorted bool
+	values []float64 // insertion order, never reordered
+	ranked []float64 // cached sorted copy for percentile queries
 }
 
 // Add appends an observation.
 func (s *Sample) Add(v float64) {
 	s.values = append(s.values, v)
-	s.sorted = false
+	s.ranked = nil
 }
 
 // AddAll appends every observation in vs.
 func (s *Sample) AddAll(vs []float64) {
 	s.values = append(s.values, vs...)
-	s.sorted = false
+	s.ranked = nil
 }
 
 // N reports the number of observations.
@@ -67,26 +69,34 @@ func (s *Sample) Stdev() float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
-// Min reports the smallest observation, or +Inf for an empty sample.
-func (s *Sample) Min() float64 {
-	min := math.Inf(1)
-	for _, v := range s.values {
+// Min reports the smallest observation; ok is false for an empty
+// sample (the old API returned +Inf, which leaked into arithmetic and
+// tables downstream).
+func (s *Sample) Min() (float64, bool) {
+	if len(s.values) == 0 {
+		return 0, false
+	}
+	min := s.values[0]
+	for _, v := range s.values[1:] {
 		if v < min {
 			min = v
 		}
 	}
-	return min
+	return min, true
 }
 
-// Max reports the largest observation, or -Inf for an empty sample.
-func (s *Sample) Max() float64 {
-	max := math.Inf(-1)
-	for _, v := range s.values {
+// Max reports the largest observation; ok is false for an empty sample.
+func (s *Sample) Max() (float64, bool) {
+	if len(s.values) == 0 {
+		return 0, false
+	}
+	max := s.values[0]
+	for _, v := range s.values[1:] {
 		if v > max {
 			max = v
 		}
 	}
-	return max
+	return max, true
 }
 
 // Sum reports the total of all observations.
@@ -98,10 +108,13 @@ func (s *Sample) Sum() float64 {
 	return sum
 }
 
-func (s *Sample) ensureSorted() {
-	if !s.sorted {
-		sort.Float64s(s.values)
-		s.sorted = true
+// ensureRanked (re)builds the sorted copy used for rank queries; the
+// insertion-ordered values slice is never touched.
+func (s *Sample) ensureRanked() {
+	if s.ranked == nil || len(s.ranked) != len(s.values) {
+		s.ranked = make([]float64, len(s.values))
+		copy(s.ranked, s.values)
+		sort.Float64s(s.ranked)
 	}
 }
 
@@ -115,18 +128,18 @@ func (s *Sample) Percentile(p float64) float64 {
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v out of range", p))
 	}
-	s.ensureSorted()
-	if len(s.values) == 1 {
-		return s.values[0]
+	s.ensureRanked()
+	if len(s.ranked) == 1 {
+		return s.ranked[0]
 	}
-	rank := p / 100 * float64(len(s.values)-1)
+	rank := p / 100 * float64(len(s.ranked)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.values[lo]
+		return s.ranked[lo]
 	}
 	frac := rank - float64(lo)
-	return s.values[lo]*(1-frac) + s.values[hi]*frac
+	return s.ranked[lo]*(1-frac) + s.ranked[hi]*frac
 }
 
 // Median reports the 50th percentile.
@@ -149,13 +162,20 @@ type Summary struct {
 	Min, Max    float64
 }
 
-// Summarize captures the headline statistics of s.
+// Summarize captures the headline statistics of s. For an empty sample
+// Min and Max are 0, not ±Inf.
 func (s *Sample) Summarize() Summary {
-	return Summary{N: s.N(), Mean: s.Mean(), Stdev: s.Stdev(), Min: s.Min(), Max: s.Max()}
+	min, _ := s.Min()
+	max, _ := s.Max()
+	return Summary{N: s.N(), Mean: s.Mean(), Stdev: s.Stdev(), Min: min, Max: max}
 }
 
-// String formats the summary as "mean ± stdev (n=N)".
+// String formats the summary as "mean ± stdev (n=N)", or an em dash for
+// an empty sample so tables never print Inf/NaN.
 func (sm Summary) String() string {
+	if sm.N == 0 {
+		return "— (n=0)"
+	}
 	return fmt.Sprintf("%.6g ± %.3g (n=%d)", sm.Mean, sm.Stdev, sm.N)
 }
 

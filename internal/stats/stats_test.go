@@ -26,11 +26,16 @@ func TestEmptyAndSingleton(t *testing.T) {
 	if s.Mean() != 0 || s.Stdev() != 0 || s.N() != 0 {
 		t.Fatal("empty sample stats wrong")
 	}
-	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
-		t.Fatal("empty min/max wrong")
+	if _, ok := s.Min(); ok {
+		t.Fatal("empty Min should report !ok")
+	}
+	if _, ok := s.Max(); ok {
+		t.Fatal("empty Max should report !ok")
 	}
 	s.Add(3)
-	if s.Mean() != 3 || s.Stdev() != 0 || s.Min() != 3 || s.Max() != 3 {
+	min, minOK := s.Min()
+	max, maxOK := s.Max()
+	if s.Mean() != 3 || s.Stdev() != 0 || !minOK || min != 3 || !maxOK || max != 3 {
 		t.Fatal("singleton stats wrong")
 	}
 	if s.Percentile(50) != 3 {
@@ -80,6 +85,38 @@ func TestPercentileThenAddStillCorrect(t *testing.T) {
 	s.Add(2)
 	if !approx(s.Median(), 2, 1e-12) {
 		t.Fatalf("median after post-sort Add = %v", s.Median())
+	}
+}
+
+// Regression: Percentile used to sort s.values in place, so a caller
+// plotting the time series via Values() after computing a percentile got
+// a silently reordered series.
+func TestPercentileKeepsInsertionOrder(t *testing.T) {
+	var s Sample
+	order := []float64{9, 2, 7, 1, 8, 3}
+	s.AddAll(order)
+	if got := s.Percentile(50); !approx(got, 5, 1e-9) {
+		t.Fatalf("p50 = %v", got)
+	}
+	_ = s.Percentile(90)
+	vs := s.Values()
+	for i, want := range order {
+		if vs[i] != want {
+			t.Fatalf("Values()[%d] = %v after Percentile, want %v (insertion order destroyed)", i, vs[i], want)
+		}
+	}
+}
+
+// Regression: empty samples used to summarize with Min=+Inf / Max=-Inf,
+// which leaked Inf into harness tables and arithmetic.
+func TestEmptySummaryRendersDash(t *testing.T) {
+	var s Sample
+	sm := s.Summarize()
+	if math.IsInf(sm.Min, 0) || math.IsInf(sm.Max, 0) {
+		t.Fatalf("empty summary has Inf bounds: %+v", sm)
+	}
+	if got := sm.String(); got != "— (n=0)" {
+		t.Fatalf("empty summary string = %q", got)
 	}
 }
 
@@ -174,7 +211,9 @@ func TestQuickSampleInvariants(t *testing.T) {
 		var s Sample
 		s.AddAll(clean)
 		m := s.Mean()
-		if m < s.Min()-1e-6 || m > s.Max()+1e-6 {
+		min, _ := s.Min()
+		max, _ := s.Max()
+		if m < min-1e-6 || m > max+1e-6 {
 			return false
 		}
 		if s.Stdev() < 0 {
