@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench lint obscheck
+.PHONY: build test check vet race bench benchcheck gobench lint obscheck
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,13 @@ race:
 	$(GO) test -race ./...
 
 # lint is the CI formatting/static gate, reproducible locally: gofmt
-# must report no files, and vet must pass.
+# must report no files, vet must pass, and every exported identifier in
+# the core packages must carry a doc comment (cmd/docgate).
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/docgate ./internal/sim ./internal/metrics ./internal/faults ./internal/kernel
 
 # obscheck is the observability gate: the metrics snapshot must be
 # deterministic across same-seed runs, and the Perfetto trace export must
@@ -38,5 +40,15 @@ obscheck: build
 # race detector, and the observability gate.
 check: build vet race obscheck
 
+# bench refreshes the committed engine-throughput trajectory
+# (BENCH_sim.json), preserving its pinned pre-optimization baseline
+# block. benchcheck is the CI regression gate against the committed file.
 bench:
+	$(GO) run ./cmd/benchjson -out BENCH_sim.json
+
+benchcheck:
+	$(GO) run ./cmd/benchjson -reps 5 -check BENCH_sim.json
+
+# gobench runs the paper-figure go-test benchmarks (bench_test.go).
+gobench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -56,6 +56,7 @@ const (
 	nKinds // sentinel
 )
 
+// String names the fault kind as it appears in injection logs.
 func (k Kind) String() string {
 	switch k {
 	case SpuriousIRQ:
@@ -109,6 +110,7 @@ type Record struct {
 	Detail string
 }
 
+// String formats one injection record as a log line.
 func (r Record) String() string {
 	return fmt.Sprintf("%12.6fs %-8s %-10s %s", r.At.Seconds(), r.Kind, r.Target, r.Detail)
 }

@@ -96,10 +96,11 @@ func (h *Hypervisor) containCrash(vm *VM, reason string) bool {
 		}
 	}
 	// Stale stage-2 translations must not outlive the crash: whatever
-	// image runs next in this VMID gets a cold TLB.
+	// image runs next in this VMID gets a cold TLB and a cold walk cache.
 	for _, c := range h.node.Cores {
 		c.TLB().InvalidateVMID(uint16(vm.id))
 	}
+	vm.s2cache.Flush()
 	h.revokeGrants(vm)
 	vm.mailbox = nil
 	h.armWatchdog(vm)
@@ -161,7 +162,7 @@ func (h *Hypervisor) armWatchdog(vm *VM) {
 		}
 		d := restartBackoff(spec) << shift
 		vm.watchdog = h.node.Engine.AfterNamed(d, "hafnium.watchdog."+spec.Name, func() {
-			vm.watchdog = nil
+			vm.watchdog = sim.Event{}
 			h.recoverVM(vm)
 		})
 		return
@@ -184,6 +185,7 @@ func (h *Hypervisor) recoverVM(vm *VM) {
 	h.stats.ScrubbedPages += vm.ramSize / mem.PageSize
 	h.metric("scrubbed_pages", vm).Add(vm.ramSize / mem.PageSize)
 	vm.stage2 = mmu.NewTable(fmt.Sprintf("s2.%s", vm.spec.Name))
+	vm.s2cache = mmu.NewWalkCache(vm.stage2, 0)
 	if err := vm.stage2.Map(GuestRAMBase, uint64(vm.ramPA), vm.ramSize, mmu.PermRWX); err != nil {
 		panic(fmt.Sprintf("hafnium: rebuilding %s stage-2 RAM: %v", vm.spec.Name, err))
 	}

@@ -426,6 +426,7 @@ func (h *Hypervisor) switchOut(c *machine.Core, vc *VCPU, irq int) {
 	h.worldSwitch(vc.vm, costs.HypTrap+costs.WorldSwitch)
 	if h.tlbPolicy == TLBFlushAll {
 		c.TLB().InvalidateAll()
+		vc.vm.s2cache.Flush() // flush-all policy drops walk-cache state too
 	}
 	c.ExecUninterruptible("el2.worldswitch", costs.HypTrap+costs.WorldSwitch, func() {
 		h.primaryOS.HandleIRQ(c, irq)
@@ -565,10 +566,8 @@ func (h *Hypervisor) RunVCPU(c *machine.Core, vc *VCPU) error {
 	h.enteredAt[id] = h.node.Now()
 
 	// Virtual timer restore.
-	if vc.vtPendEvent != nil {
-		h.node.Engine.Cancel(vc.vtPendEvent)
-		vc.vtPendEvent = nil
-	}
+	h.node.Engine.Cancel(vc.vtPendEvent)
+	vc.vtPendEvent = sim.Event{}
 	if vc.vtArmed {
 		// An already-passed deadline is delivered as a pending virq.
 		if vc.vtDeadline <= h.node.Now() {
@@ -643,15 +642,13 @@ func (h *Hypervisor) parkVTimer(vc *VCPU, core int) {
 // watchVTimer pends the virtual-timer interrupt when the deadline passes
 // while the VCPU is descheduled, and tells the primary it is ready.
 func (h *Hypervisor) watchVTimer(vc *VCPU) {
-	if vc.vtPendEvent != nil {
-		h.node.Engine.Cancel(vc.vtPendEvent)
-	}
+	h.node.Engine.Cancel(vc.vtPendEvent)
 	at := vc.vtDeadline
 	if at < h.node.Now() {
 		at = h.node.Now()
 	}
 	vc.vtPendEvent = h.node.Engine.ScheduleNamed(at, "hafnium.vtimer."+vc.String(), func() {
-		vc.vtPendEvent = nil
+		vc.vtPendEvent = sim.Event{}
 		if !vc.vtArmed || vc.core >= 0 {
 			return
 		}

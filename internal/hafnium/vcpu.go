@@ -25,7 +25,7 @@ type VCPU struct {
 
 	vtArmed     bool
 	vtDeadline  sim.Time
-	vtPendEvent *sim.Event // deadline watcher while descheduled
+	vtPendEvent sim.Event // deadline watcher while descheduled
 
 	runs uint64
 }
@@ -105,10 +105,8 @@ func (vc *VCPU) CancelVTimer() {
 	if vc.core >= 0 {
 		vc.vm.hyp.node.Timers.Core(vc.core).CancelChannel(timer.Virt)
 	}
-	if vc.vtPendEvent != nil {
-		vc.vm.hyp.node.Engine.Cancel(vc.vtPendEvent)
-		vc.vtPendEvent = nil
-	}
+	vc.vm.hyp.node.Engine.Cancel(vc.vtPendEvent)
+	vc.vtPendEvent = sim.Event{}
 }
 
 // VTimerArmed reports whether the virtual timer has a live deadline.

@@ -67,9 +67,13 @@ type VM struct {
 	spec   VMSpec
 	hyp    *Hypervisor
 	stage2 *mmu.Table
-	vcpus  []*VCPU
-	state  VMState
-	guest  GuestOS
+	// s2cache memoizes successful stage-2 walks; generation-checked
+	// against stage2 and rebuilt wholesale when a crash recovery swaps
+	// the table out.
+	s2cache *mmu.WalkCache
+	vcpus   []*VCPU
+	state   VMState
+	guest   GuestOS
 
 	ramPA   mem.PA // backing block base
 	ramSize uint64
@@ -79,9 +83,9 @@ type VM struct {
 
 	mmio []mem.Region // device windows mapped into this VM
 
-	restarts    int        // watchdog restarts performed so far
-	watchdog    *sim.Event // pending restart, while VMCrashed
-	crashReason string     // why the VM last crashed ("" if never)
+	restarts    int       // watchdog restarts performed so far
+	watchdog    sim.Event // pending restart, while VMCrashed
+	crashReason string    // why the VM last crashed ("" if never)
 
 	// Hot-path registry counters, cached at build time.
 	mWorldSwitches *metrics.Counter
@@ -150,7 +154,7 @@ func (v *VM) MMIO() []mem.Region {
 // TranslateIPA runs the VM's stage-2 translation for an IPA access with
 // the given permissions, enforcing isolation exactly as hardware would.
 func (v *VM) TranslateIPA(ipa uint64, want mmu.Perms) (mem.PA, error) {
-	pa, perms, _, ok := v.stage2.Translate(ipa)
+	pa, perms, _, ok := v.s2cache.Translate(ipa)
 	if !ok {
 		v.mStage2Faults.Inc()
 		return 0, fmt.Errorf("hafnium: vm %d stage-2 abort at IPA %#x", v.id, ipa)
@@ -171,6 +175,7 @@ func (h *Hypervisor) buildVM(id VMID, spec VMSpec) (*VM, error) {
 		stage2:       mmu.NewTable(fmt.Sprintf("s2.%s", spec.Name)),
 		nextShareIPA: shareIPABase,
 	}
+	v.s2cache = mmu.NewWalkCache(v.stage2, 0)
 	mx := h.node.Metrics
 	v.mWorldSwitches = mx.Counter(metrics.K("el2", "world_switches").WithVM(spec.Name))
 	v.mSwitchCostPS = mx.Counter(metrics.K("el2", "world_switch_ps").WithVM(spec.Name))

@@ -35,6 +35,7 @@ const (
 	TaskDone
 )
 
+// String names the task state for traces and panics.
 func (s TaskState) String() string {
 	switch s {
 	case TaskReady:
@@ -83,6 +84,7 @@ func (t *Task) IsVCPU() bool { return t.vc != nil }
 // Activations reports kthread activations (tests & noise accounting).
 func (t *Task) Activations() uint64 { return t.activations }
 
+// String summarizes the task (name, home core, state) for diagnostics.
 func (t *Task) String() string {
 	return fmt.Sprintf("%s(core%d,%v)", t.name, t.core, t.state)
 }

@@ -48,12 +48,32 @@ type RoundRobin struct {
 
 	k  *Kernel
 	rq []runqueue
+
+	// Tick handling runs at TickHz on every core for the whole simulation;
+	// the labels, callbacks and activities below are built once at Attach
+	// and reused so a tick allocates nothing. Reuse is safe because a
+	// core's tick (and the rotation it may start) always completes before
+	// the timer is re-armed for the next one.
+	tickLabel  string
+	ctxswLabel string
+	tickActs   []*machine.Activity
+	ctxswActs  []*machine.Activity
 }
 
 // Attach implements Policy.
 func (p *RoundRobin) Attach(k *Kernel) {
 	p.k = k
-	p.rq = make([]runqueue, len(k.node.Cores))
+	n := len(k.node.Cores)
+	p.rq = make([]runqueue, n)
+	p.tickLabel = k.cfg.Label + ".tick"
+	p.ctxswLabel = k.cfg.Label + ".ctxsw"
+	p.tickActs = make([]*machine.Activity, n)
+	p.ctxswActs = make([]*machine.Activity, n)
+	for _, c := range k.node.Cores {
+		c := c
+		p.tickActs[c.ID()] = &machine.Activity{Label: p.tickLabel, OnComplete: func() { p.tick(k, c) }}
+		p.ctxswActs[c.ID()] = &machine.Activity{Label: p.ctxswLabel, OnComplete: func() { k.schedule(c) }}
+	}
 }
 
 // Boot implements Policy: stagger ticks across cores as Kitten does, so
@@ -69,12 +89,16 @@ func (p *RoundRobin) Boot(k *Kernel) {
 // OnTick implements Policy (primary mode: Hafnium already charged
 // delivery).
 func (p *RoundRobin) OnTick(k *Kernel, c *machine.Core) {
-	c.Exec(k.cfg.Label+".tick", p.TickCost, func() { p.tick(k, c) })
+	a := p.tickActs[c.ID()]
+	a.Remaining = p.TickCost
+	c.Run(a)
 }
 
 // OnTickNative implements Policy (bare metal: fold in the GIC delivery).
 func (p *RoundRobin) OnTickNative(k *Kernel, c *machine.Core, entry sim.Duration) {
-	c.Exec(k.cfg.Label+".tick", entry+p.TickCost, func() { p.tick(k, c) })
+	a := p.tickActs[c.ID()]
+	a.Remaining = entry + p.TickCost
+	c.Run(a)
 }
 
 // tick: re-arm, account the quantum, rotate or resume.
@@ -96,7 +120,9 @@ func (p *RoundRobin) tick(k *Kernel, c *machine.Core) {
 	canRotate := (cur.vc != nil && c.Depth() == 0) || (cur.vc == nil && c.Depth() == 1)
 	if cur.ran >= p.QuantumTicks && p.rq[id].len() > 0 && canRotate {
 		k.deschedule(c, cur)
-		c.Exec(k.cfg.Label+".ctxsw", k.cfg.CtxSwitch, func() { k.schedule(c) })
+		a := p.ctxswActs[id]
+		a.Remaining = k.cfg.CtxSwitch
+		c.Run(a)
 		return
 	}
 	k.resume(c)

@@ -43,8 +43,17 @@ type Core struct {
 	id   int
 	node *Node
 
+	// eng and trace are cached off node at construction: the exec loop
+	// (start/complete/suspend) touches them for every activity slice, and
+	// the extra pointer hop shows up at simulation scale.
+	eng   *sim.Engine
+	trace *sim.Trace
+	// completeFn is the one method value passed to ScheduleArg so starting
+	// an activity allocates neither a closure nor an event.
+	completeFn func(any)
+
 	cur      *Activity
-	curEvent *sim.Event
+	curEvent sim.Event
 	curStart sim.Time
 	stack    []*Activity
 	next     *Activity
@@ -120,21 +129,25 @@ func (c *Core) ExecUninterruptible(label string, d sim.Duration, fn func()) *Act
 }
 
 func (c *Core) start(a *Activity) {
-	eng := c.node.Engine
+	now := c.eng.Now()
 	c.cur = a
-	c.curStart = eng.Now()
-	c.curEvent = eng.AfterNamed(a.Remaining, "core.complete."+a.Label, func() { c.complete(a) })
+	c.curStart = now
+	c.curEvent = c.eng.ScheduleArg(now.Add(a.Remaining), "core.complete", c.completeFn, a)
 }
+
+// completeArg adapts complete to the engine's arg-style callback; it is
+// bound once per core (see completeFn).
+func (c *Core) completeArg(x any) { c.complete(x.(*Activity)) }
 
 func (c *Core) complete(a *Activity) {
 	c.busy += a.Remaining
 	// Each contiguous execution slice is one typed trace span; slices on
 	// one core never overlap, so the Perfetto export is well-nested by
 	// construction.
-	c.node.Trace.Span(c.curStart, a.Remaining, c.id, "exec", a.Label)
+	c.trace.Span(c.curStart, a.Remaining, c.id, "exec", a.Label)
 	a.Remaining = 0
 	c.cur = nil
-	c.curEvent = nil
+	c.curEvent = sim.Event{}
 	if a.OnComplete != nil {
 		a.OnComplete()
 	}
@@ -168,7 +181,7 @@ func (c *Core) settle() {
 	if len(c.stack) > 0 {
 		a := c.stack[len(c.stack)-1]
 		c.stack = c.stack[:len(c.stack)-1]
-		now := c.node.Engine.Now()
+		now := c.eng.Now()
 		stolen := now.Sub(a.preemptedAt)
 		if a.OnResume != nil {
 			a.OnResume(now, stolen)
@@ -207,16 +220,16 @@ func (c *Core) deliver() {
 
 func (c *Core) suspendCurrent() {
 	a := c.cur
-	now := c.node.Engine.Now()
+	now := c.eng.Now()
 	elapsed := now.Sub(c.curStart)
-	c.node.Engine.Cancel(c.curEvent)
-	c.curEvent = nil
+	c.eng.Cancel(c.curEvent)
+	c.curEvent = sim.Event{}
 	a.Remaining -= elapsed
 	if a.Remaining < 0 {
 		a.Remaining = 0
 	}
 	c.busy += elapsed
-	c.node.Trace.Span(c.curStart, elapsed, c.id, "exec", a.Label)
+	c.trace.Span(c.curStart, elapsed, c.id, "exec", a.Label)
 	a.preemptedAt = now
 	c.preempts++
 	if a.OnPreempt != nil {
@@ -242,7 +255,7 @@ func (c *Core) StealSuspended() *Activity {
 // OnResume with the stolen time. The core must be idle at that slot (same
 // rules as Run).
 func (c *Core) ResumeStolen(a *Activity) {
-	now := c.node.Engine.Now()
+	now := c.eng.Now()
 	stolen := now.Sub(a.preemptedAt)
 	if a.OnResume != nil {
 		a.OnResume(now, stolen)

@@ -119,7 +119,9 @@ func New(cfg Config) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.Cores = append(n.Cores, &Core{id: i, node: n, tlb: tlb, idleSince: 0})
+		c := &Core{id: i, node: n, eng: eng, trace: n.Trace, tlb: tlb, idleSince: 0}
+		c.completeFn = c.completeArg
+		n.Cores = append(n.Cores, c)
 	}
 	dist.SetSink(n)
 	return n, nil

@@ -54,6 +54,8 @@ func (k Key) WithVM(vm string) Key { k.VM = vm; return k }
 // WithCore returns the key labelled with a physical core.
 func (k Key) WithCore(core int) Key { k.Core = core; return k }
 
+// String renders the key in its canonical dotted form, with core and VM
+// qualifiers when set.
 func (k Key) String() string {
 	s := k.Subsystem + "." + k.Name
 	switch {

@@ -86,6 +86,10 @@ type Table struct {
 	nodes int
 	// mapped counts bytes currently mapped.
 	mapped uint64
+	// gen counts structural mutations (Map/Unmap/Protect/block splits).
+	// Caches over this table (WalkCache) compare generations instead of
+	// registering invalidation callbacks.
+	gen uint64
 }
 
 // NewTable returns an empty translation table.
@@ -101,6 +105,11 @@ func (t *Table) Nodes() int { return t.nodes }
 
 // MappedBytes reports the total bytes currently mapped.
 func (t *Table) MappedBytes() uint64 { return t.mapped }
+
+// Gen reports the table's mutation generation: it changes whenever any
+// translation could have changed, so memoized walk results tagged with an
+// older generation are stale.
+func (t *Table) Gen() uint64 { return t.gen }
 
 func levelIndex(addr uint64, level int) int {
 	shift := GranuleShift + (Levels-1-level)*LevelBits
@@ -156,6 +165,7 @@ func (t *Table) Map(in, out, size uint64, perm Perms) error {
 		off += GranuleSize
 	}
 	t.mapped += size
+	t.gen++
 	return nil
 }
 
@@ -218,6 +228,7 @@ func (t *Table) Unmap(in, size uint64) error {
 		off += step
 	}
 	t.mapped -= size
+	t.gen++
 	return nil
 }
 
@@ -242,6 +253,7 @@ func (t *Table) splitBlock(addr uint64) {
 	}
 	*e = entry{kind: entryTable, next: child}
 	t.nodes++
+	t.gen++ // the walk level (and thus walk cost) for the range changed
 }
 
 // unmapLeaf removes the leaf covering addr and prunes empty nodes.
@@ -352,6 +364,7 @@ func (t *Table) Protect(in, size uint64, perm Perms) error {
 		step := t.protectLeaf(in+off, perm)
 		off += step
 	}
+	t.gen++
 	return nil
 }
 

@@ -1,0 +1,98 @@
+package mmu
+
+import "testing"
+
+// Cached and uncached translation must agree everywhere, before and
+// after mutations.
+func TestWalkCacheMatchesTable(t *testing.T) {
+	tab := NewTable("s2")
+	if err := tab.Map(0x0000, 0x10_0000, 16*GranuleSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	wc := NewWalkCache(tab, 8)
+
+	check := func(addr uint64) {
+		t.Helper()
+		co, cp, cl, cok := wc.Translate(addr)
+		to, tp, tl, tok := tab.Translate(addr)
+		if co != to || cp != tp || cl != tl || cok != tok {
+			t.Fatalf("addr %#x: cache (%#x,%v,%d,%v) != table (%#x,%v,%d,%v)",
+				addr, co, cp, cl, cok, to, tp, tl, tok)
+		}
+	}
+
+	for pass := 0; pass < 3; pass++ { // repeated lookups exercise hits
+		for a := uint64(0); a < 18*GranuleSize; a += GranuleSize / 2 {
+			check(a)
+		}
+	}
+	hits, misses := wc.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("expected both hits and misses, got %d/%d", hits, misses)
+	}
+
+	// Mutations must invalidate implicitly via the generation counter.
+	if err := tab.Unmap(0, 4*GranuleSize); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 18*GranuleSize; a += GranuleSize {
+		check(a)
+	}
+	if err := tab.Protect(4*GranuleSize, 4*GranuleSize, PermR); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 18*GranuleSize; a += GranuleSize {
+		check(a)
+	}
+}
+
+// Block mappings translate identically through the cache, including
+// after a partial unmap splits the block.
+func TestWalkCacheBlockMappings(t *testing.T) {
+	tab := NewTable("s2")
+	if err := tab.Map(0, 0x4000_0000, 2*BlockSizeL2, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	wc := NewWalkCache(tab, 0)
+	for _, a := range []uint64{0, 123, GranuleSize, BlockSizeL2 - 1, BlockSizeL2 + 5*GranuleSize} {
+		co, _, cl, cok := wc.Translate(a)
+		to, _, tl, tok := tab.Translate(a)
+		if co != to || cl != tl || cok != tok {
+			t.Fatalf("addr %#x: cache (%#x,%d,%v) != table (%#x,%d,%v)", a, co, cl, cok, to, tl, tok)
+		}
+		if cl != 2 {
+			t.Fatalf("addr %#x: expected block leaf level 2, got %d", a, cl)
+		}
+	}
+	if err := tab.Unmap(0, GranuleSize); err != nil { // splits the first block
+		t.Fatal(err)
+	}
+	if _, _, _, ok := wc.Translate(0); ok {
+		t.Fatal("unmapped page still translates through the cache")
+	}
+	co, _, cl, cok := wc.Translate(GranuleSize)
+	if !cok || cl != 3 || co != 0x4000_0000+GranuleSize {
+		t.Fatalf("post-split translate wrong: (%#x,%d,%v)", co, cl, cok)
+	}
+}
+
+// Flush drops entries but never changes results.
+func TestWalkCacheFlush(t *testing.T) {
+	tab := NewTable("s2")
+	if err := tab.Map(0, 0x9000_0000, 4*GranuleSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	wc := NewWalkCache(tab, 4)
+	if _, _, _, ok := wc.Translate(0); !ok {
+		t.Fatal("translate failed")
+	}
+	wc.Flush()
+	out, _, _, ok := wc.Translate(GranuleSize)
+	if !ok || out != 0x9000_0000+GranuleSize {
+		t.Fatalf("post-flush translate wrong: (%#x,%v)", out, ok)
+	}
+	_, misses := wc.Stats()
+	if misses < 2 {
+		t.Fatalf("flush did not drop entries: misses=%d", misses)
+	}
+}

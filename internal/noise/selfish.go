@@ -130,6 +130,21 @@ func (s *Selfish) Main(x osapi.Executor) {
 		chunk = s.RunTime
 	}
 	remaining := s.RunTime
+	// One activity serves every chunk: a chunk always completes before the
+	// next Run, so reusing it keeps the spin loop allocation-free.
+	spin := &machine.Activity{
+		Label:     "selfish.spin",
+		OnPreempt: func(at sim.Time) { s.preemptAt = at },
+		OnResume: func(at sim.Time, stolen sim.Duration) {
+			if stolen >= s.Threshold {
+				// Detour timestamps are relative to benchmark start.
+				s.Result.Detours = append(s.Result.Detours, Detour{
+					At:       s.preemptAt - s.startAt,
+					Duration: stolen,
+				})
+			}
+		},
+	}
 	var runChunk func()
 	runChunk = func() {
 		d := chunk
@@ -143,21 +158,9 @@ func (s *Selfish) Main(x osapi.Executor) {
 			return
 		}
 		remaining -= d
-		x.Run(&machine.Activity{
-			Label:      "selfish.spin",
-			Remaining:  d,
-			OnComplete: runChunk,
-			OnPreempt:  func(at sim.Time) { s.preemptAt = at },
-			OnResume: func(at sim.Time, stolen sim.Duration) {
-				if stolen >= s.Threshold {
-					// Detour timestamps are relative to benchmark start.
-					s.Result.Detours = append(s.Result.Detours, Detour{
-						At:       s.preemptAt - s.startAt,
-						Duration: stolen,
-					})
-				}
-			},
-		})
+		spin.Remaining = d
+		x.Run(spin)
 	}
+	spin.OnComplete = runChunk
 	runChunk()
 }

@@ -1,70 +1,91 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events are created by Engine.Schedule and
-// friends; holding the returned pointer allows exact cancellation.
+// slot is the engine-owned storage for one scheduled event. Slots are
+// pooled: after an event fires (or a cancelled slot is collected at pop
+// time) the slot returns to the engine's free list and is reused by a
+// later Schedule, so the steady-state hot path allocates nothing. The
+// generation counter distinguishes successive occupancies of one slot, so
+// a stale Event handle can never touch a recycled slot.
+type slot struct {
+	when Time
+	seq  uint64 // tie-break: FIFO among events at the same instant
+	gen  uint64 // bumped on release; live Event handles must match
+	fn   func()
+	afn  func(any) // arg-style callback (ScheduleArg), exclusive with fn
+	arg  any
+	name string
+
+	// canceled slots stay queued and are skipped and released when they
+	// reach the front ("lazy deletion"): cancellation is O(1) and the
+	// heap needs no per-slot index bookkeeping.
+	canceled    bool
+	canceledGen uint64 // generation of the most recently cancelled occupancy
+}
+
+// Event is a cancellable handle to a scheduled callback, returned by
+// Schedule and friends. It is a small value (copy it freely; the zero
+// Event is valid and refers to nothing). Once the callback has fired, the
+// handle goes stale: Cancel becomes a guaranteed no-op — the engine
+// recycles event storage internally, and the generation check in the
+// handle prevents a stale Cancel from ever touching a later event that
+// happens to reuse the same slot.
 type Event struct {
-	when     Time
-	seq      uint64 // tie-break: FIFO among events at the same instant
-	fn       func()
-	index    int // heap index, -1 once popped or cancelled
-	canceled bool
-	name     string
+	s    *slot
+	gen  uint64
+	when Time
 }
 
 // When reports the time the event is (or was) scheduled to fire.
-func (e *Event) When() Time { return e.when }
+func (e Event) When() Time { return e.when }
 
-// Canceled reports whether the event was cancelled before firing.
-func (e *Event) Canceled() bool { return e.canceled }
+// Pending reports whether the event is still queued: scheduled, not yet
+// fired, and not cancelled.
+func (e Event) Pending() bool { return e.s != nil && e.s.gen == e.gen && !e.s.canceled }
 
-// Name reports the optional debug label given at scheduling time.
-func (e *Event) Name() string { return e.name }
+// Canceled reports whether this event was cancelled before firing. The
+// answer stays correct until the engine reuses the underlying slot for
+// another event that is itself cancelled; treat it as a debugging aid,
+// not long-term state.
+func (e Event) Canceled() bool { return e.s != nil && e.s.canceledGen == e.gen }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// Name reports the optional debug label given at scheduling time, or ""
+// once the event has fired and its slot has been recycled.
+func (e Event) Name() string {
+	if e.s != nil && e.s.gen == e.gen {
+		return e.s.name
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return ""
 }
 
-// Engine is a single-threaded discrete-event simulator. It is not safe for
-// concurrent use; all simulated components run inside event callbacks on
-// the goroutine that calls Run or Step.
+// slotLess orders slots by (when, seq): time first, FIFO at one instant.
+func slotLess(a, b *slot) bool {
+	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all simulated components run inside event callbacks
+// on the goroutine that calls Run or Step.
+//
+// The queue is a 4-ary min-heap of pooled slots ordered by (when, seq),
+// with a FIFO fast lane for events scheduled at the current instant (the
+// timer-tick burst pattern: handlers scheduling follow-up work "now"
+// bypass the heap entirely). Cancellation is lazy — a cancelled slot is
+// skipped and recycled when it reaches the front — which keeps the heap
+// free of index bookkeeping and makes Cancel O(1).
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	heap    []*slot // 4-ary min-heap by (when, seq)
+	lane    []*slot // FIFO of events with when == now
+	laneAt  int     // lane consumption cursor
+	free    []*slot // slot pool
+	live    int     // queued and not cancelled
 	rng     *RNG
 	stopped bool
 
-	// Fired counts events executed; useful as a progress/complexity metric.
+	// fired counts events executed; useful as a progress/complexity metric.
 	fired uint64
 }
 
@@ -83,32 +104,63 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are scheduled and not yet fired.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many events are scheduled and not yet fired or
+// cancelled.
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule enqueues fn to run at the absolute time at. Scheduling in the
-// past (before Now) is a logic error and panics. The returned Event can be
-// passed to Cancel.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+// past (before Now) is a logic error and panics. The returned Event can
+// be passed to Cancel.
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	return e.ScheduleNamed(at, "", fn)
 }
 
 // ScheduleNamed is Schedule with a debug label attached to the event.
-func (e *Engine) ScheduleNamed(at Time, name string, fn func()) *Event {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event %q at %v before now %v", name, at, e.now))
-	}
+func (e *Engine) ScheduleNamed(at Time, name string, fn func()) Event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &Event{when: at, seq: e.seq, fn: fn, name: name}
+	return e.schedule(at, name, fn, nil, nil)
+}
+
+// ScheduleArg is ScheduleNamed for allocation-free hot paths: fn is a
+// long-lived function value and arg its per-event argument, so callers
+// avoid materializing a fresh closure for every event (the engine calls
+// fn(arg) when the event fires). Pointer-shaped args do not allocate when
+// boxed.
+func (e *Engine) ScheduleArg(at Time, name string, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	return e.schedule(at, name, nil, fn, arg)
+}
+
+func (e *Engine) schedule(at Time, name string, fn func(), afn func(any), arg any) Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event %q at %v before now %v", name, at, e.now))
+	}
+	s := e.alloc()
+	s.when = at
+	s.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	s.fn = fn
+	s.afn = afn
+	s.arg = arg
+	s.name = name
+	e.live++
+	if at == e.now {
+		// Same-instant fast lane: appended in seq order, so the lane is
+		// itself sorted and the only ordering question against the heap
+		// is a seq comparison at equal times (see peek).
+		e.lane = append(e.lane, s)
+	} else {
+		e.heapPush(s)
+	}
+	return Event{s: s, gen: s.gen, when: at}
 }
 
 // After enqueues fn to run d from now. Negative d panics.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -116,41 +168,141 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 }
 
 // AfterNamed is After with a debug label.
-func (e *Engine) AfterNamed(d Duration, name string, fn func()) *Event {
+func (e *Engine) AfterNamed(d Duration, name string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.ScheduleNamed(e.now.Add(d), name, fn)
 }
 
-// Cancel removes ev from the queue. Cancelling an already-fired or
-// already-cancelled event is a harmless no-op, which simplifies callers
-// that race a completion event against a preemption.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+// Cancel removes ev from the queue. Cancelling an already-fired,
+// already-cancelled, or zero Event is a guaranteed no-op: the handle's
+// generation no longer matches its (possibly recycled) slot, so a stale
+// Cancel can never affect a later event. This simplifies callers that
+// race a completion event against a preemption.
+func (e *Engine) Cancel(ev Event) {
+	s := ev.s
+	if s == nil || s.gen != ev.gen || s.canceled {
 		return
 	}
-	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+	s.canceled = true
+	s.canceledGen = ev.gen
+	s.fn = nil
+	s.afn = nil
+	s.arg = nil
+	e.live--
+}
+
+// alloc takes a slot from the pool, or mints one.
+func (e *Engine) alloc() *slot {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return s
+	}
+	return &slot{gen: 1} // generation 0 is reserved for the zero Event
+}
+
+// release returns a popped slot to the pool, invalidating outstanding
+// handles by bumping the generation.
+func (e *Engine) release(s *slot) {
+	s.gen++
+	s.fn = nil
+	s.afn = nil
+	s.arg = nil
+	s.name = ""
+	s.canceled = false
+	e.free = append(e.free, s)
+}
+
+// peek returns the front slot — the (when, seq) minimum across the lane
+// and the heap — without removing it, or nil when empty.
+func (e *Engine) peek() *slot {
+	var ln *slot
+	if e.laneAt < len(e.lane) {
+		ln = e.lane[e.laneAt]
+	}
+	var hp *slot
+	if len(e.heap) > 0 {
+		hp = e.heap[0]
+	}
+	switch {
+	case ln == nil:
+		return hp
+	case hp == nil:
+		return ln
+	case slotLess(hp, ln):
+		return hp
+	default:
+		return ln
+	}
+}
+
+// pop removes and returns the front slot, or nil when empty.
+func (e *Engine) pop() *slot {
+	s := e.peek()
+	if s == nil {
+		return nil
+	}
+	if e.laneAt < len(e.lane) && e.lane[e.laneAt] == s {
+		e.lane[e.laneAt] = nil
+		e.laneAt++
+		if e.laneAt == len(e.lane) {
+			e.lane = e.lane[:0]
+			e.laneAt = 0
+		}
+		return s
+	}
+	return e.heapPop()
+}
+
+// nextLive releases cancelled slots at the front and returns the next
+// live slot without removing it, or nil when the queue is drained.
+func (e *Engine) nextLive() *slot {
+	for {
+		s := e.peek()
+		if s == nil || !s.canceled {
+			return s
+		}
+		e.pop()
+		e.release(s)
+	}
+}
+
+// fire pops the front slot s (which must be live), advances the clock,
+// and runs its callback. The slot is recycled before the callback runs,
+// so callbacks observe their own event as already fired.
+func (e *Engine) fire(s *slot) {
+	e.pop()
+	if s.when < e.now {
+		panic("sim: event queue time went backwards")
+	}
+	e.now = s.when
+	e.fired++
+	e.live--
+	if s.afn != nil {
+		afn, arg := s.afn, s.arg
+		e.release(s)
+		afn(arg)
+		return
+	}
+	fn := s.fn
+	e.release(s)
+	fn()
 }
 
 // Step fires the next event, advancing the clock to its timestamp. It
 // reports false when the queue is empty or Stop was called.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.queue) == 0 {
+	if e.stopped {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	if ev.when < e.now {
-		panic("sim: event queue time went backwards")
+	s := e.nextLive()
+	if s == nil {
+		return false
 	}
-	e.now = ev.when
-	e.fired++
-	ev.fn()
+	e.fire(s)
 	return true
 }
 
@@ -159,8 +311,12 @@ func (e *Engine) Step() bool {
 // it has not passed it. It returns the number of events fired.
 func (e *Engine) Run(until Time) uint64 {
 	start := e.fired
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].when <= until {
-		e.Step()
+	for !e.stopped {
+		s := e.nextLive()
+		if s == nil || s.when > until {
+			break
+		}
+		e.fire(s)
 	}
 	if !e.stopped && e.now < until {
 		e.now = until
@@ -181,3 +337,57 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
+
+// heapPush inserts s into the 4-ary min-heap.
+func (e *Engine) heapPush(s *slot) {
+	h := append(e.heap, s)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !slotLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// heapPop removes and returns the heap minimum.
+func (e *Engine) heapPop() *slot {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	e.heap = h
+	if n > 0 {
+		// Sift last down from the root: at each node, promote the
+		// smallest of up to four children until last fits.
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			best := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if slotLess(h[j], h[best]) {
+					best = j
+				}
+			}
+			if !slotLess(h[best], last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
+		}
+		h[i] = last
+	}
+	return top
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refModel is a deliberately naive event queue — a sorted slice ordered
+// by (when, seq) with eager deletion — used as the oracle for the real
+// engine's 4-ary heap + FIFO lane + lazy cancellation.
+type refModel struct {
+	now  Time
+	seq  uint64
+	evs  []refEvent
+	next int // ids are dense; index into issued events
+}
+
+type refEvent struct {
+	id       int
+	when     Time
+	seq      uint64
+	canceled bool
+	fired    bool
+}
+
+func (m *refModel) schedule(at Time) int {
+	id := m.next
+	m.next++
+	m.evs = append(m.evs, refEvent{id: id, when: at, seq: m.seq})
+	m.seq++
+	sort.SliceStable(m.evs, func(i, j int) bool {
+		if m.evs[i].when != m.evs[j].when {
+			return m.evs[i].when < m.evs[j].when
+		}
+		return m.evs[i].seq < m.evs[j].seq
+	})
+	return id
+}
+
+func (m *refModel) cancel(id int) {
+	for i := range m.evs {
+		if m.evs[i].id == id {
+			m.evs = append(m.evs[:i], m.evs[i+1:]...)
+			return
+		}
+	}
+}
+
+// step pops the front event, advances the clock, and returns its id, or
+// -1 when empty.
+func (m *refModel) step() int {
+	if len(m.evs) == 0 {
+		return -1
+	}
+	ev := m.evs[0]
+	m.evs = m.evs[1:]
+	m.now = ev.when
+	return ev.id
+}
+
+// TestPropEngineMatchesReferenceModel drives the engine and the reference
+// model with identical random schedule/cancel/step interleavings and
+// asserts they pop events in exactly the same order. This pins the total
+// order (when, seq) across the heap and the same-instant fast lane, and
+// the exactness of lazy cancellation.
+func TestPropEngineMatchesReferenceModel(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		e := NewEngine(uint64(trial))
+		m := &refModel{}
+
+		var engFired, refFired []int
+		handles := map[int]Event{} // model id -> engine handle
+		var liveIDs []int          // ids believed schedulable/cancellable
+
+		for op := 0; op < 400; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // schedule at now + [0, 50)
+				at := e.Now().Add(Duration(rng.Intn(50)))
+				id := m.schedule(at)
+				fired := id // capture
+				handles[id] = e.Schedule(at, func() { engFired = append(engFired, fired) })
+				liveIDs = append(liveIDs, id)
+			case r < 7: // cancel a random previously issued event
+				if len(liveIDs) == 0 {
+					continue
+				}
+				i := rng.Intn(len(liveIDs))
+				id := liveIDs[i]
+				liveIDs = append(liveIDs[:i], liveIDs[i+1:]...)
+				m.cancel(id)
+				e.Cancel(handles[id])
+			default: // step both
+				id := m.step()
+				stepped := e.Step()
+				if (id == -1) == stepped {
+					t.Fatalf("trial %d op %d: model empty=%v, engine stepped=%v", trial, op, id == -1, stepped)
+				}
+				if id != -1 {
+					refFired = append(refFired, id)
+					if e.Now() != m.now {
+						t.Fatalf("trial %d op %d: clock %v vs model %v", trial, op, e.Now(), m.now)
+					}
+				}
+			}
+			if len(engFired) != len(refFired) {
+				t.Fatalf("trial %d op %d: engine fired %d, model %d", trial, op, len(engFired), len(refFired))
+			}
+		}
+
+		// Drain both completely.
+		for {
+			id := m.step()
+			stepped := e.Step()
+			if (id == -1) != !stepped {
+				t.Fatalf("trial %d drain: model empty=%v, engine stepped=%v", trial, id == -1, stepped)
+			}
+			if id == -1 {
+				break
+			}
+			refFired = append(refFired, id)
+		}
+
+		if len(engFired) != len(refFired) {
+			t.Fatalf("trial %d: engine fired %d events, model %d", trial, len(engFired), len(refFired))
+		}
+		for i := range refFired {
+			if engFired[i] != refFired[i] {
+				t.Fatalf("trial %d: pop order diverges at %d: engine %d, model %d",
+					trial, i, engFired[i], refFired[i])
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("trial %d: engine still reports %d pending after drain", trial, e.Pending())
+		}
+	}
+}

@@ -61,10 +61,92 @@ func TestCancelPreventsFiring(t *testing.T) {
 	e.Cancel(ev2)
 }
 
+// Cancel after an event has fired is a documented no-op — and, because
+// the engine pools event storage, the stale handle must not be able to
+// cancel a *later* event that recycles the same slot.
+func TestCancelAfterPopIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	ev := e.Schedule(10, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if ev.Pending() {
+		t.Fatal("fired event still reports Pending")
+	}
+	e.Cancel(ev) // stale handle: must do nothing
+	if ev.Canceled() {
+		t.Fatal("cancel-after-pop marked the stale handle cancelled")
+	}
+
+	// The recycled slot now hosts a new event; the stale cancel above and
+	// this one must not touch it.
+	ev2 := e.Schedule(e.Now().Add(5), func() { fired++ })
+	e.Cancel(ev)
+	if !ev2.Pending() {
+		t.Fatal("stale cancel hit a recycled slot's new occupant")
+	}
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("recycled-slot event did not fire: fired=%d, want 2", fired)
+	}
+}
+
+// The zero Event is valid and refers to nothing.
+func TestZeroEventIsInert(t *testing.T) {
+	e := NewEngine(1)
+	var ev Event
+	e.Cancel(ev)
+	if ev.Pending() || ev.Canceled() || ev.Name() != "" || ev.When() != 0 {
+		t.Fatal("zero Event not inert")
+	}
+}
+
+// Cancelling from inside the event's own callback is a no-op: the slot
+// is recycled before the callback runs.
+func TestCancelSelfInsideCallback(t *testing.T) {
+	e := NewEngine(1)
+	var ev Event
+	next := false
+	ev = e.Schedule(10, func() {
+		e.Cancel(ev)
+		e.After(1, func() { next = true })
+	})
+	e.RunAll()
+	if !next {
+		t.Fatal("follow-up event lost after self-cancel")
+	}
+}
+
+// Pending must track cancellation and firing through the FIFO lane and
+// the heap alike.
+func TestPendingCount(t *testing.T) {
+	e := NewEngine(1)
+	nop := func() {}
+	a := e.Schedule(0, nop) // lane: at == now
+	e.Schedule(5, nop)
+	c := e.Schedule(5, nop)
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	e.Cancel(c)
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d after cancel, want 2", e.Pending())
+	}
+	if !a.Pending() || c.Pending() {
+		t.Fatal("handle Pending out of sync")
+	}
+	e.RunAll()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
 func TestCancelOneOfManyAtSameInstant(t *testing.T) {
 	e := NewEngine(1)
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 5; i++ {
 		i := i
 		evs = append(evs, e.Schedule(7, func() { got = append(got, i) }))
@@ -209,7 +291,7 @@ func TestQuickCancelIsExact(t *testing.T) {
 	f := func(times []uint8, cancelMask []bool) bool {
 		e := NewEngine(7)
 		fired := map[int]bool{}
-		var evs []*Event
+		var evs []Event
 		for i, tt := range times {
 			i := i
 			evs = append(evs, e.Schedule(Time(tt), func() { fired[i] = true }))

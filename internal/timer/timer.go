@@ -58,8 +58,13 @@ type CoreTimers struct {
 	core    int
 	eng     *sim.Engine
 	dist    *gic.Distributor
-	pending [numChannels]*sim.Event
+	pending [numChannels]sim.Event
 	fired   [numChannels]uint64
+
+	// names and fire are built once per channel at construction so Arm —
+	// the highest-frequency call in a ticking kernel — allocates nothing.
+	names [numChannels]string
+	fire  [numChannels]func()
 }
 
 // Bank wires one CoreTimers per core to the engine and distributor.
@@ -71,7 +76,13 @@ type Bank struct {
 func NewBank(eng *sim.Engine, dist *gic.Distributor, cores int) *Bank {
 	b := &Bank{}
 	for i := 0; i < cores; i++ {
-		b.timers = append(b.timers, &CoreTimers{core: i, eng: eng, dist: dist})
+		t := &CoreTimers{core: i, eng: eng, dist: dist}
+		for ch := Channel(0); ch < numChannels; ch++ {
+			ch := ch
+			t.names[ch] = fmt.Sprintf("timer.c%d.%v", i, ch)
+			t.fire[ch] = func() { t.expire(ch) }
+		}
+		b.timers = append(b.timers, t)
 	}
 	return b
 }
@@ -84,17 +95,19 @@ func (b *Bank) Core(i int) *CoreTimers { return b.timers[i] }
 // semantics). Deadlines in the past fire immediately, as hardware does.
 func (t *CoreTimers) Arm(ch Channel, at sim.Time) {
 	t.CancelChannel(ch)
-	fire := func() {
-		t.pending[ch] = nil
-		t.fired[ch]++
-		if err := t.dist.RaisePPI(t.core, ch.PPI()); err != nil {
-			panic(fmt.Sprintf("timer: raise failed: %v", err))
-		}
-	}
 	if at <= t.eng.Now() {
 		at = t.eng.Now()
 	}
-	t.pending[ch] = t.eng.ScheduleNamed(at, fmt.Sprintf("timer.c%d.%v", t.core, ch), fire)
+	t.pending[ch] = t.eng.ScheduleNamed(at, t.names[ch], t.fire[ch])
+}
+
+// expire is the deadline callback shared by every Arm on the channel.
+func (t *CoreTimers) expire(ch Channel) {
+	t.pending[ch] = sim.Event{}
+	t.fired[ch]++
+	if err := t.dist.RaisePPI(t.core, ch.PPI()); err != nil {
+		panic(fmt.Sprintf("timer: raise failed: %v", err))
+	}
 }
 
 // ArmAfter arms the channel d from now (TVAL semantics).
@@ -104,18 +117,16 @@ func (t *CoreTimers) ArmAfter(ch Channel, d sim.Duration) {
 
 // CancelChannel disarms the channel if armed.
 func (t *CoreTimers) CancelChannel(ch Channel) {
-	if ev := t.pending[ch]; ev != nil {
-		t.eng.Cancel(ev)
-		t.pending[ch] = nil
-	}
+	t.eng.Cancel(t.pending[ch]) // no-op on the zero Event or a fired one
+	t.pending[ch] = sim.Event{}
 }
 
 // Armed reports whether the channel has a pending deadline.
-func (t *CoreTimers) Armed(ch Channel) bool { return t.pending[ch] != nil }
+func (t *CoreTimers) Armed(ch Channel) bool { return t.pending[ch].Pending() }
 
 // Deadline reports the pending deadline, valid only when Armed.
 func (t *CoreTimers) Deadline(ch Channel) sim.Time {
-	if t.pending[ch] == nil {
+	if !t.pending[ch].Pending() {
 		return 0
 	}
 	return t.pending[ch].When()

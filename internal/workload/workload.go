@@ -123,6 +123,19 @@ func (r *Run) Main(x osapi.Executor) {
 	if amp < 1 {
 		amp = 1
 	}
+	// One activity serves every phase: a phase always completes before the
+	// next Run, so reusing it keeps the phase loop allocation-free even
+	// for fine-grained PhaseOps.
+	a := &machine.Activity{Label: "wl." + r.Spec.Name}
+	a.OnPreempt = func(at sim.Time) { r.Result.Preempts++ }
+	a.OnResume = func(at sim.Time, stolen sim.Duration) {
+		r.Result.Stolen += stolen
+		if amp > 1 {
+			extra := sim.Duration(float64(stolen) * (amp - 1))
+			a.Remaining += extra
+			r.Result.Extra += extra
+		}
+	}
 	var runPhase func()
 	runPhase = func() {
 		if left <= 0 {
@@ -139,22 +152,9 @@ func (r *Run) Main(x osapi.Executor) {
 			ops = left
 		}
 		left -= ops
-		dur := sim.FromSeconds(ops / rate)
-		a := &machine.Activity{
-			Label:      "wl." + r.Spec.Name,
-			Remaining:  dur,
-			OnComplete: runPhase,
-		}
-		a.OnPreempt = func(at sim.Time) { r.Result.Preempts++ }
-		a.OnResume = func(at sim.Time, stolen sim.Duration) {
-			r.Result.Stolen += stolen
-			if amp > 1 {
-				extra := sim.Duration(float64(stolen) * (amp - 1))
-				a.Remaining += extra
-				r.Result.Extra += extra
-			}
-		}
+		a.Remaining = sim.FromSeconds(ops / rate)
 		x.Run(a)
 	}
+	a.OnComplete = runPhase
 	runPhase()
 }
