@@ -26,14 +26,20 @@ lint:
 	$(GO) run ./cmd/docgate ./internal/sim ./internal/metrics ./internal/faults ./internal/kernel
 
 # obscheck is the observability gate: the metrics snapshot must be
-# deterministic across same-seed runs, and the Perfetto trace export must
-# pass schema validation (khsim trace -check exits non-zero otherwise).
+# deterministic across same-seed runs, the Perfetto trace export must
+# pass schema validation (khsim trace -check exits non-zero otherwise),
+# and the cluster failover experiment must hold its properties (bounded
+# failover, converged ledgers) with a byte-identical merged trace
+# artifact across two same-seed runs.
 obscheck: build
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/khsim metrics -config kitten -bench stream -seed 1 > "$$tmp/a.metrics" && \
 	$(GO) run ./cmd/khsim metrics -config kitten -bench stream -seed 1 > "$$tmp/b.metrics" && \
 	cmp "$$tmp/a.metrics" "$$tmp/b.metrics" || { echo "obscheck: metrics snapshot not deterministic"; exit 1; }; \
 	$(GO) run ./cmd/khsim trace -config kitten -bench selfish -seconds 0.1 -format perfetto -check -out "$$tmp/trace.json" || exit 1; \
+	$(GO) run ./cmd/khsim cluster -seed 1 -check -artifact "$$tmp/a.cluster" > /dev/null && \
+	$(GO) run ./cmd/khsim cluster -seed 1 -check -artifact "$$tmp/b.cluster" > /dev/null && \
+	cmp "$$tmp/a.cluster" "$$tmp/b.cluster" || { echo "obscheck: cluster failover trace not deterministic"; exit 1; }; \
 	echo "obscheck: ok"
 
 # check is the full pre-merge gate: build, vet, the test suite under the

@@ -1,16 +1,19 @@
-// Command benchjson measures discrete-event engine throughput on three
+// Command benchjson measures discrete-event engine throughput on four
 // representative simulator scenarios and records the results as
 // machine-readable JSON (BENCH_sim.json at the repo root; `make bench`).
 //
 // Each scenario is built, warmed up, and then measured over a fixed window
 // of simulated time on a single goroutine:
 //
-//	selfish         native Kitten, chunked selfish-detour spin (50 µs
-//	                chunks): the engine-dominated schedule/fire hot path.
-//	stream          STREAM triad in a Kitten secondary VM under a Kitten
-//	                primary: the world-switch + tick + phase mix.
-//	fault-storm-4vm four VMs (primary + three crashing/restarting
-//	                victims) under the deterministic fault injector.
+//	selfish          native Kitten, chunked selfish-detour spin (50 µs
+//	                 chunks): the engine-dominated schedule/fire hot path.
+//	stream           STREAM triad in a Kitten secondary VM under a Kitten
+//	                 primary: the world-switch + tick + phase mix.
+//	fault-storm-4vm  four VMs (primary + three crashing/restarting
+//	                 victims) under the deterministic fault injector.
+//	cluster-failover the 3-node replicated-attestation failover
+//	                 experiment, measured end to end (no warmup; the
+//	                 whole run including construction is the window).
 //
 // Reported per scenario: ns/event (wall nanoseconds per simulation event,
 // best of -reps), events/sec, allocs/event (Go heap allocations per event
@@ -43,8 +46,10 @@ import (
 	"sort"
 	"time"
 
+	"khsim/internal/cluster"
 	"khsim/internal/core"
 	"khsim/internal/faults"
+	"khsim/internal/harness"
 	"khsim/internal/kitten"
 	"khsim/internal/noise"
 	"khsim/internal/sim"
@@ -280,6 +285,39 @@ func stormScenario() (measure, error) {
 	return measureWindow(n.Machine.Engine, n.Run, sim.FromSeconds(6)), nil
 }
 
+// clusterScenario: the 3-node replicated-attestation failover experiment
+// (leader kill, follower partition, heal) measured end to end — three
+// per-node engines multiplexed by global event order, fabric delivery,
+// Raft-lite elections and the manifest fault campaign. The window covers
+// the whole run including construction, so the event count doubles as the
+// cross-node determinism gate: any drift in the merged schedule changes
+// it.
+func clusterScenario() (measure, error) {
+	m, err := cluster.ParseManifest(harness.ClusterManifestText)
+	if err != nil {
+		return measure{}, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	r, err := harness.RunClusterManifest(m, 7)
+	if err != nil {
+		return measure{}, err
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err := r.Check(); err != nil {
+		return measure{}, fmt.Errorf("failover properties: %w", err)
+	}
+	return measure{
+		events: r.EventsFired,
+		allocs: m1.Mallocs - m0.Mallocs,
+		wall:   wall,
+		simDur: m.Run,
+	}, nil
+}
+
 var scenarios = []struct {
 	name string
 	run  func() (measure, error)
@@ -287,6 +325,7 @@ var scenarios = []struct {
 	{"selfish", selfishScenario},
 	{"stream", streamScenario},
 	{"fault-storm-4vm", stormScenario},
+	{"cluster-failover", clusterScenario},
 }
 
 // runAll measures every scenario reps times. Recording (median=true)

@@ -6,6 +6,7 @@
 //
 //	khsim [-manifest FILE] [-scheduler kitten|linux] [-bench NAME] [-seed S]
 //	khsim faults [-manifest FILE] [-seed S] [-spec RULES] [-seconds N] [-contain]
+//	khsim cluster [-manifest FILE] [-seed S] [-artifact FILE] [-trace] [-check]
 //	khsim metrics [-config native|kitten|linux] [-bench NAME] [-seed S] [-format text|json]
 //	khsim trace [-config native|kitten|linux] [-bench NAME] [-seed S] [-format perfetto|tsv] [-out FILE] [-check]
 //
@@ -17,6 +18,14 @@
 // against a victim VM and prints the injection trace, the hypervisor's
 // containment counters, and each VM's fate; -contain instead runs the
 // crash-containment experiment (primary noise with vs without faults).
+//
+// The cluster subcommand runs the multi-node failover experiment: N
+// secure-node stacks joined by a simulated fabric, a Raft-lite service
+// replicating the hash-chained attestation ledger across them, and a
+// manifest-scheduled fault campaign (leader kills, partitions, heals,
+// message drops, delay spikes — see manifests/cluster-3node.manifest).
+// -artifact writes the deterministic merged trace; -check exits non-zero
+// unless failover stayed bounded and the ledgers converged.
 //
 // The metrics subcommand runs one benchmark and prints the node's full
 // metrics snapshot (world switches, hypercalls by function, virtual IRQ
@@ -31,6 +40,7 @@ import (
 	"fmt"
 	"os"
 
+	"khsim/internal/cluster"
 	"khsim/internal/core"
 	"khsim/internal/faults"
 	"khsim/internal/hafnium"
@@ -84,7 +94,8 @@ func faultsCmd(args []string) {
 	manifestPath := fs.String("manifest", "", "Hafnium manifest file (default: built-in fault-recovery plan)")
 	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same fault trace)")
 	spec := fs.String("spec", "crash:job:200ms,spurious::100ms,tlb::250ms,rogue:job:150ms",
-		"fault rules: kind[:target[:mean]],... (kinds: spurious storm drift s2flip tlb crash rogue)")
+		"fault rules: kind[:target[:mean]],... (kinds: spurious storm drift s2flip tlb crash rogue; "+
+			"partition heal netdrop netdelay take node<N> targets and need a cluster run)")
 	seconds := fs.Float64("seconds", 2, "simulated run time")
 	contain := fs.Bool("contain", false, "run the crash-containment experiment instead")
 	fs.Parse(args)
@@ -165,11 +176,58 @@ func faultsCmd(args []string) {
 	fmt.Println("isolation: verified")
 }
 
+// clusterCmd implements `khsim cluster`: the multi-node replicated
+// attestation failover experiment.
+func clusterCmd(args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "cluster manifest file (default: built-in 3-node failover scenario)")
+	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same merged trace)")
+	artifact := fs.String("artifact", "", "write the deterministic merged trace artifact to FILE")
+	showTrace := fs.Bool("trace", false, "print the full merged trace instead of the summary")
+	check := fs.Bool("check", false, "exit non-zero unless the failover properties hold")
+	fs.Parse(args)
+
+	text := harness.ClusterManifestText
+	if *manifestPath != "" {
+		b, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			fail(err)
+		}
+		text = string(b)
+	}
+	m, err := cluster.ParseManifest(text)
+	if err != nil {
+		fail(err)
+	}
+	r, err := harness.RunClusterManifest(m, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *artifact != "" {
+		if err := os.WriteFile(*artifact, []byte(r.Artifact()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *showTrace {
+		fmt.Print(r.Artifact())
+	} else {
+		fmt.Print(r.String())
+	}
+	if *check {
+		if err := r.Check(); err != nil {
+			fail(err)
+		}
+	}
+}
+
 func main() {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
 		case "faults":
 			faultsCmd(os.Args[2:])
+			return
+		case "cluster":
+			clusterCmd(os.Args[2:])
 			return
 		case "metrics":
 			metricsCmd(os.Args[2:])

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"khsim/internal/net"
+	"khsim/internal/sim"
+)
+
+// testRig is a bare replication cluster: engines + fabric + service, no
+// machine stacks underneath (protocol-level tests).
+type testRig struct {
+	engines []*sim.Engine
+	fabric  *net.Fabric
+	svc     *Service
+	alive   []bool
+}
+
+func newTestRig(t *testing.T, n int, seed uint64) *testRig {
+	t.Helper()
+	f, err := net.NewFabric(n, net.DefaultLink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &testRig{fabric: f, alive: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		eng := sim.NewEngine(uint64(i) + 100)
+		r.engines = append(r.engines, eng)
+		if err := f.Attach(net.NodeID(i), eng); err != nil {
+			t.Fatal(err)
+		}
+		r.alive[i] = true
+	}
+	svc, err := New(f, r.engines, DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.svc = svc
+	for i := 0; i < n; i++ {
+		id := i
+		svc.SetAlive(id, func() bool { return r.alive[id] })
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// run advances all engines in global timestamp order until t.
+func (r *testRig) run(t sim.Duration) {
+	until := r.engines[0].Now().Add(t)
+	for {
+		best, bt := -1, sim.Time(0)
+		for i, e := range r.engines {
+			if at, ok := e.NextAt(); ok && (best < 0 || at < bt) {
+				best, bt = i, at
+			}
+		}
+		if best < 0 || bt > until {
+			break
+		}
+		r.engines[best].Step()
+	}
+	for _, e := range r.engines {
+		e.Run(until)
+	}
+}
+
+func (r *testRig) leaders() []int {
+	var out []int
+	for i := 0; i < r.svc.Replicas(); i++ {
+		if r.svc.Replica(i).Role() == Leader {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestElectionConvergesToOneLeader(t *testing.T) {
+	r := newTestRig(t, 3, 7)
+	r.run(sim.FromMicros(50000)) // many election windows
+	ls := r.leaders()
+	if len(ls) != 1 {
+		t.Fatalf("leaders = %v, want exactly one", ls)
+	}
+	if r.svc.LeaderID() != ls[0] {
+		t.Fatalf("LeaderID = %d, roles say %v", r.svc.LeaderID(), ls)
+	}
+	// The leadership change itself is attested: every log starts with the
+	// leader-elected record and all replicas agree.
+	for i, l := range r.svc.Logs() {
+		if l.Len() == 0 {
+			t.Fatalf("replica %d has an empty ledger", i)
+		}
+		rec, _ := l.At(1)
+		if !strings.HasPrefix(string(rec.Payload), "leader n") {
+			t.Fatalf("replica %d first record = %q", i, rec.Payload)
+		}
+	}
+	if !r.svc.PrefixConsistent() {
+		t.Fatal("ledgers diverged with no faults")
+	}
+}
+
+func TestReplicationCommitsProposals(t *testing.T) {
+	r := newTestRig(t, 3, 11)
+	r.run(sim.FromMicros(20000))
+	lead := r.svc.LeaderID()
+	if lead < 0 {
+		t.Fatal("no leader")
+	}
+	// Propose through a follower: the proposal forwards to the leader.
+	follower := (lead + 1) % 3
+	for k := 0; k < 5; k++ {
+		payload := fmt.Sprintf("payload %d", k)
+		r.engines[follower].ScheduleNamed(r.engines[follower].Now().Add(sim.FromMicros(float64(k+1))), "propose", func() {
+			r.svc.Propose(follower, []byte(payload))
+		})
+	}
+	r.run(sim.FromMicros(20000))
+	for i := 0; i < 3; i++ {
+		rep := r.svc.Replica(i)
+		if rep.Commit() != rep.Log().Len() || rep.Log().Len() < 6 {
+			t.Fatalf("replica %d: commit=%d len=%d, want 6 committed", i, rep.Commit(), rep.Log().Len())
+		}
+		if err := rep.Log().Verify(); err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+	}
+	if !r.svc.PrefixConsistent() {
+		t.Fatal("ledgers diverged")
+	}
+}
+
+func TestDeadLeaderFailsOverAndRejoins(t *testing.T) {
+	r := newTestRig(t, 3, 13)
+	r.run(sim.FromMicros(20000))
+	old := r.svc.LeaderID()
+	if old < 0 {
+		t.Fatal("no leader")
+	}
+	oldTerm := r.svc.Replica(old).Term()
+	r.alive[old] = false
+	r.run(sim.FromMicros(30000))
+	fresh := r.svc.LeaderID()
+	if fresh < 0 || fresh == old {
+		t.Fatalf("no failover: leader %d -> %d", old, fresh)
+	}
+	if r.svc.Replica(fresh).Term() <= oldTerm {
+		t.Fatalf("new leader term %d not above old %d", r.svc.Replica(fresh).Term(), oldTerm)
+	}
+	// Revive the old leader: its stale heartbeats must get it deposed and
+	// caught up, not split the cluster.
+	r.alive[old] = true
+	r.run(sim.FromMicros(30000))
+	if got := r.svc.LeaderID(); got != fresh {
+		t.Fatalf("leadership moved again after rejoin: %d", got)
+	}
+	if r.svc.Replica(old).Role() == Leader {
+		t.Fatal("stale leader was not deposed")
+	}
+	if !r.svc.PrefixConsistent() {
+		t.Fatal("ledgers diverged across failover")
+	}
+	if r.svc.Replica(old).Log().Head() != r.svc.Replica(fresh).Log().Head() {
+		t.Fatal("rejoined replica did not catch up")
+	}
+}
+
+func TestPartitionedFollowerCatchesUp(t *testing.T) {
+	r := newTestRig(t, 3, 17)
+	r.run(sim.FromMicros(20000))
+	lead := r.svc.LeaderID()
+	if lead < 0 {
+		t.Fatal("no leader")
+	}
+	victim := (lead + 1) % 3
+	r.fabric.Partition(net.NodeID(victim))
+	// Keep committing while the follower is cut off.
+	for k := 0; k < 8; k++ {
+		payload := fmt.Sprintf("during-partition %d", k)
+		r.engines[lead].ScheduleNamed(r.engines[lead].Now().Add(sim.FromMicros(float64(100*(k+1)))), "propose", func() {
+			r.svc.Propose(lead, []byte(payload))
+		})
+	}
+	r.run(sim.FromMicros(30000))
+	behind := r.svc.Replica(victim).Log().Len()
+	ahead := r.svc.Replica(lead).Log().Len()
+	if behind >= ahead {
+		t.Fatalf("partitioned replica kept up: %d vs %d", behind, ahead)
+	}
+	r.fabric.Heal(net.NodeID(victim))
+	r.run(sim.FromMicros(30000))
+	if got := r.svc.Replica(victim).Log().Head(); got != r.svc.Replica(lead).Log().Head() {
+		t.Fatal("healed replica did not catch up")
+	}
+	if r.svc.Replica(victim).Commit() != r.svc.Replica(victim).Log().Len() {
+		t.Fatal("healed replica's commit lags its log")
+	}
+	if !r.svc.PrefixConsistent() {
+		t.Fatal("ledgers diverged across the partition")
+	}
+}
+
+func TestProtocolTraceDeterministic(t *testing.T) {
+	run := func() string {
+		r := newTestRig(t, 3, 23)
+		r.run(sim.FromMicros(15000))
+		old := r.svc.LeaderID()
+		if old >= 0 {
+			r.alive[old] = false
+		}
+		r.run(sim.FromMicros(25000))
+		if old >= 0 {
+			r.alive[old] = true
+		}
+		r.run(sim.FromMicros(20000))
+		return r.svc.TraceString()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed protocol traces differ:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "leader term=") || !strings.Contains(a, "step down") {
+		t.Fatalf("trace missing expected records:\n%s", a)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	f, _ := net.NewFabric(3, net.DefaultLink())
+	engines := []*sim.Engine{sim.NewEngine(1), sim.NewEngine(2), sim.NewEngine(3)}
+	for i, e := range engines {
+		f.Attach(net.NodeID(i), e)
+	}
+	bad := DefaultConfig(1)
+	bad.ElectionMin = bad.Heartbeat // must be >= 2x heartbeat
+	if _, err := New(f, engines, bad); err == nil {
+		t.Fatal("accepted election timeout below 2x heartbeat")
+	}
+	if _, err := New(f, engines[:2], DefaultConfig(1)); err == nil {
+		t.Fatal("accepted engine count mismatch")
+	}
+	one, _ := net.NewFabric(1, net.DefaultLink())
+	one.Attach(0, engines[0])
+	if _, err := New(one, engines[:1], DefaultConfig(1)); err == nil {
+		t.Fatal("accepted single-node cluster")
+	}
+}

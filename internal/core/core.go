@@ -60,6 +60,10 @@ type Options struct {
 	RootKey ed25519.PublicKey
 	// Machine overrides the node hardware (nil = Pine A64).
 	Machine *machine.Config
+	// Node, if set, is a pre-built machine (e.g. one member of a
+	// machine.Cluster) to assemble the stack on instead of constructing
+	// one; Seed and Machine are then ignored.
+	Node *machine.Node
 }
 
 // PrimaryKernel is what both kernels offer the node layer.
@@ -92,14 +96,18 @@ type linkedKitten = kitten.Primary
 // → Hafnium → primary kernel, stopping just before Boot so callers can
 // attach guests and VCPU threads.
 func NewSecureNode(opts Options) (*SecureNode, error) {
-	mcfg := machine.PineA64Config(opts.Seed)
-	if opts.Machine != nil {
-		mcfg = *opts.Machine
-		mcfg.Seed = opts.Seed
-	}
-	node, err := machine.New(mcfg)
-	if err != nil {
-		return nil, err
+	node := opts.Node
+	if node == nil {
+		mcfg := machine.PineA64Config(opts.Seed)
+		if opts.Machine != nil {
+			mcfg = *opts.Machine
+			mcfg.Seed = opts.Seed
+		}
+		var err error
+		node, err = machine.New(mcfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	manifest, err := hafnium.ParseManifest(opts.Manifest)
 	if err != nil {

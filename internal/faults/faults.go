@@ -24,6 +24,7 @@ import (
 	"khsim/internal/mem"
 	"khsim/internal/metrics"
 	"khsim/internal/mmu"
+	"khsim/internal/net"
 	"khsim/internal/sim"
 )
 
@@ -53,6 +54,21 @@ const (
 	// self-notification.
 	RogueHypercall
 
+	// Network fault kinds act on the cluster fabric (SetFabric) instead
+	// of a single node's hypervisor; their Target is a node ("node2", or
+	// empty to rotate over the fabric).
+
+	// NetPartition isolates a node: all its traffic, in flight included,
+	// is dropped until a NetHeal.
+	NetPartition
+	// NetHeal reconnects a partitioned node.
+	NetHeal
+	// NetDrop silently drops the next Burst messages touching the node.
+	NetDrop
+	// NetDelay stretches the node's links by Drift for a Window — a
+	// congestion spike, not loss.
+	NetDelay
+
 	nKinds // sentinel
 )
 
@@ -73,6 +89,14 @@ func (k Kind) String() string {
 		return "crash"
 	case RogueHypercall:
 		return "rogue"
+	case NetPartition:
+		return "partition"
+	case NetHeal:
+		return "heal"
+	case NetDrop:
+		return "netdrop"
+	case NetDelay:
+		return "netdelay"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -97,8 +121,9 @@ type Rule struct {
 	Mean   sim.Duration // mean exponential inter-arrival (0 = use At only)
 	At     []sim.Time   // explicit injection times
 	Count  int          // cap on probabilistic firings (0 = until the horizon)
-	Burst  int          // storm size (0 = 8)
-	Drift  sim.Duration // timer-drift magnitude (0 = 50µs)
+	Burst  int          // storm size / NetDrop message count (0 = 8 / 1)
+	Drift  sim.Duration // timer-drift or NetDelay magnitude (0 = 50µs)
+	Window sim.Duration // NetDelay spike window (0 = 1ms)
 }
 
 // Record is one injected fault in the deterministic event trace.
@@ -136,11 +161,30 @@ type Injector struct {
 	trace   []Record
 	stats   Stats
 	victims []*hafnium.VM
+	fabric  *net.Fabric // nil outside cluster runs
+
+	// Hot-path caches: the injector fires thousands of times per run, so
+	// the per-firing engine bookkeeping is precomputed once instead of
+	// rebuilt (and reallocated) on every arm.
+	until     sim.Time  // injection horizon, fixed at Start
+	eventName []string  // per rule: "faults.<kind>" engine event name
+	rearm     []func()  // per rule: fire-then-rearm callback
+	pulseFn   func(any) // storm pulse callback; arg is the target core
+	coreName  []string  // per core: "core<N>" trace target
+
+	mInjected *metrics.Counter   // faults/injected, resolved once
+	mByRule   []*metrics.Counter // per rule: faults/injected.<kind>
 
 	nextVictim int
 	nextCore   int
+	nextNode   int
 	started    bool
 }
+
+// SetFabric points the injector at the cluster fabric, enabling the
+// network fault kinds. Must be called before Start when any rule uses
+// them.
+func (in *Injector) SetFabric(f *net.Fabric) { in.fabric = f }
 
 // New validates the rules and builds an injector over a constructed (not
 // necessarily booted) secure node. The seed is independent of the engine
@@ -165,7 +209,13 @@ func New(node *machine.Node, hyp *hafnium.Hypervisor, seed uint64, rules []Rule)
 		if r.Mean <= 0 && len(r.At) == 0 {
 			return nil, fmt.Errorf("faults: rule %d (%v): needs Mean or At times", i, r.Kind)
 		}
-		if r.Target != "" {
+		if needsFabric(r.Kind) {
+			if r.Target != "" {
+				if _, err := parseNodeTarget(r.Target); err != nil {
+					return nil, fmt.Errorf("faults: rule %d (%v): %w", i, r.Kind, err)
+				}
+			}
+		} else if r.Target != "" {
 			if _, ok := hyp.VMByName(r.Target); !ok {
 				return nil, fmt.Errorf("faults: rule %d (%v): no VM %q", i, r.Kind, r.Target)
 			}
@@ -176,6 +226,18 @@ func New(node *machine.Node, hyp *hafnium.Hypervisor, seed uint64, rules []Rule)
 			return nil, fmt.Errorf("faults: rule %d (%v): bad core %d", i, r.Kind, r.Core)
 		}
 	}
+	in.eventName = make([]string, len(rules))
+	in.mByRule = make([]*metrics.Counter, len(rules))
+	in.mInjected = node.Metrics.Counter(metrics.K("faults", "injected"))
+	for i := range rules {
+		in.eventName[i] = "faults." + rules[i].Kind.String()
+		in.mByRule[i] = node.Metrics.Counter(metrics.K("faults", "injected."+rules[i].Kind.String()))
+	}
+	in.coreName = make([]string, len(node.Cores))
+	for i := range in.coreName {
+		in.coreName[i] = fmt.Sprintf("core%d", i)
+	}
+	in.pulseFn = func(core any) { in.raise(core.(int)) }
 	return in, nil
 }
 
@@ -187,6 +249,24 @@ func needsVM(k Kind) bool {
 	return false
 }
 
+// needsFabric reports whether a kind targets the cluster fabric.
+func needsFabric(k Kind) bool {
+	switch k {
+	case NetPartition, NetHeal, NetDrop, NetDelay:
+		return true
+	}
+	return false
+}
+
+// parseNodeTarget reads a network fault target of the form "node<N>".
+func parseNodeTarget(s string) (net.NodeID, error) {
+	var n int
+	if _, err := fmt.Sscanf(s, "node%d", &n); err != nil || n < 0 {
+		return 0, fmt.Errorf("faults: network fault target %q (want node<N>)", s)
+	}
+	return net.NodeID(n), nil
+}
+
 // Start enables the spurious interrupt line and schedules every rule's
 // injections up to the horizon. Call after the node has booted.
 func (in *Injector) Start(until sim.Time) error {
@@ -194,8 +274,22 @@ func (in *Injector) Start(until sim.Time) error {
 		return fmt.Errorf("faults: injector already started")
 	}
 	in.started = true
+	for i := range in.rules {
+		if needsFabric(in.rules[i].Kind) && in.fabric == nil {
+			return fmt.Errorf("faults: rule %d (%v) needs a cluster fabric (SetFabric)", i, in.rules[i].Kind)
+		}
+	}
 	if err := in.node.GIC.Enable(spuriousSPI); err != nil {
 		return fmt.Errorf("faults: claiming SPI %d: %w", spuriousSPI, err)
+	}
+	in.until = until
+	in.rearm = make([]func(), len(in.rules))
+	for i := range in.rules {
+		ri := i
+		in.rearm[i] = func() {
+			in.fire(ri)
+			in.armNext(ri)
+		}
 	}
 	for i := range in.rules {
 		r := &in.rules[i]
@@ -205,29 +299,27 @@ func (in *Injector) Start(until sim.Time) error {
 				t = in.node.Now()
 			}
 			ri := i
-			in.node.Engine.ScheduleNamed(t, "faults."+r.Kind.String(), func() { in.fire(ri) })
+			in.node.Engine.ScheduleNamed(t, in.eventName[i], func() { in.fire(ri) })
 		}
 		if r.Mean > 0 {
-			in.armNext(i, until)
+			in.armNext(i)
 		}
 	}
 	return nil
 }
 
-// armNext schedules rule ri's next probabilistic firing.
-func (in *Injector) armNext(ri int, until sim.Time) {
+// armNext schedules rule ri's next probabilistic firing. The callback and
+// event name are the per-rule cached ones, so arming is allocation-free.
+func (in *Injector) armNext(ri int) {
 	r := &in.rules[ri]
 	if r.Count > 0 && in.fired[ri] >= r.Count {
 		return
 	}
 	at := in.node.Now().Add(in.rng.ExpDuration(r.Mean))
-	if at > until {
+	if at > in.until {
 		return
 	}
-	in.node.Engine.ScheduleNamed(at, "faults."+r.Kind.String(), func() {
-		in.fire(ri)
-		in.armNext(ri, until)
-	})
+	in.node.Engine.ScheduleNamed(at, in.eventName[ri], in.rearm[ri])
 }
 
 // Trace returns the injection event trace in firing order.
@@ -253,6 +345,18 @@ func (in *Injector) pickVM(r *Rule) *hafnium.VM {
 	return vm
 }
 
+// pickNode resolves a network rule's target node, rotating over the
+// fabric when unset.
+func (in *Injector) pickNode(r *Rule) net.NodeID {
+	if r.Target != "" {
+		id, _ := parseNodeTarget(r.Target) // validated in New
+		return id
+	}
+	id := net.NodeID(in.nextNode % in.fabric.Nodes())
+	in.nextNode++
+	return id
+}
+
 // pickCore resolves a rule's target core, rotating when negative.
 func (in *Injector) pickCore(r *Rule) int {
 	if r.Core >= 0 {
@@ -271,7 +375,7 @@ func (in *Injector) fire(ri int) {
 	switch r.Kind {
 	case SpuriousIRQ:
 		core := in.pickCore(r)
-		rec.Target = fmt.Sprintf("core%d", core)
+		rec.Target = in.coreName[core]
 		rec.Detail = in.raiseSPI(core)
 	case IRQStorm:
 		core := in.pickCore(r)
@@ -279,15 +383,14 @@ func (in *Injector) fire(ri int) {
 		if burst <= 0 {
 			burst = 8
 		}
-		rec.Target = fmt.Sprintf("core%d", core)
+		rec.Target = in.coreName[core]
 		rec.Detail = fmt.Sprintf("burst of %d on SPI %d", burst, spuriousSPI)
 		// The GIC deduplicates a pending SPI, so the burst is spread one
 		// microsecond apart: each raise lands after the previous one was
 		// acknowledged.
 		for i := 0; i < burst; i++ {
-			in.node.Engine.AfterNamed(sim.FromMicros(float64(i)), "faults.storm.pulse", func() {
-				in.raiseSPI(core)
-			})
+			at := in.node.Now().Add(sim.FromMicros(float64(i)))
+			in.node.Engine.ScheduleArg(at, "faults.storm.pulse", in.pulseFn, core)
 		}
 	case TimerDrift:
 		vm := in.pickVM(r)
@@ -325,7 +428,7 @@ func (in *Injector) fire(ri int) {
 	case TLBCorrupt:
 		core := in.pickCore(r)
 		n := in.node.Cores[core].TLB().InvalidateAll()
-		rec.Target = fmt.Sprintf("core%d", core)
+		rec.Target = in.coreName[core]
 		rec.Detail = fmt.Sprintf("invalidated %d TLB entries", n)
 	case VCPUCrash:
 		vm := in.pickVM(r)
@@ -339,24 +442,81 @@ func (in *Injector) fire(ri int) {
 		vm := in.pickVM(r)
 		rec.Target = vm.Name()
 		rec.Detail = in.rogueHypercall(vm)
+	case NetPartition:
+		id := in.pickNode(r)
+		rec.Target = fmt.Sprintf("node%d", id)
+		if err := in.fabric.Partition(id); err != nil {
+			rec.Detail = fmt.Sprintf("partition: %v", err)
+		} else {
+			rec.Detail = "partitioned"
+		}
+	case NetHeal:
+		id := in.pickNode(r)
+		rec.Target = fmt.Sprintf("node%d", id)
+		if err := in.fabric.Heal(id); err != nil {
+			rec.Detail = fmt.Sprintf("heal: %v", err)
+		} else {
+			rec.Detail = "healed"
+		}
+	case NetDrop:
+		id := in.pickNode(r)
+		n := r.Burst
+		if n <= 0 {
+			n = 1
+		}
+		rec.Target = fmt.Sprintf("node%d", id)
+		if err := in.fabric.DropNext(id, n); err != nil {
+			rec.Detail = fmt.Sprintf("drop: %v", err)
+		} else {
+			rec.Detail = fmt.Sprintf("dropping next %d messages", n)
+		}
+	case NetDelay:
+		id := in.pickNode(r)
+		extra := r.Drift
+		if extra <= 0 {
+			extra = sim.FromMicros(50)
+		}
+		window := r.Window
+		if window <= 0 {
+			window = sim.FromMicros(1000)
+		}
+		rec.Target = fmt.Sprintf("node%d", id)
+		if err := in.fabric.DelaySpike(id, extra, window); err != nil {
+			rec.Detail = fmt.Sprintf("delay: %v", err)
+		} else {
+			rec.Detail = fmt.Sprintf("+%v latency for %v", extra, window)
+		}
 	}
 	in.trace = append(in.trace, rec)
 	in.stats.Injected++
 	in.stats.ByKind[r.Kind]++
-	in.node.Metrics.Counter(metrics.K("faults", "injected")).Inc()
-	in.node.Metrics.Counter(metrics.K("faults", "injected."+r.Kind.String())).Inc()
+	in.mInjected.Inc()
+	in.mByRule[ri].Inc()
 }
 
 // raiseSPI routes the injector's SPI to the core and raises it.
 func (in *Injector) raiseSPI(core int) string {
+	if err := in.raise(core); err != nil {
+		return err.Error()
+	}
+	return raisedSPIDetail
+}
+
+// raisedSPIDetail is the success detail for every spurious-SPI raise;
+// built once so the storm path never formats it.
+var raisedSPIDetail = fmt.Sprintf("raised SPI %d", spuriousSPI)
+
+// raise routes and pends the spurious SPI without building a detail
+// string; the storm pulses discard the detail, so they take this path.
+func (in *Injector) raise(core int) error {
 	d := in.node.GIC
 	if err := d.Route(spuriousSPI, core); err != nil {
-		return fmt.Sprintf("route SPI %d: %v", spuriousSPI, err)
+		return fmt.Errorf("route SPI %d: %v", spuriousSPI, err)
 	}
 	if err := d.RaiseSPI(spuriousSPI); err != nil {
-		return fmt.Sprintf("raise SPI %d: %v", spuriousSPI, err)
+		return fmt.Errorf("raise SPI %d: %v", spuriousSPI, err)
 	}
-	return fmt.Sprintf("raised SPI %d", spuriousSPI)
+	return nil
 }
 
 // rogueHypercall issues one canned malformed hypercall in the VM's name
@@ -395,7 +555,9 @@ func (in *Injector) rogueHypercall(vm *hafnium.VM) string {
 //
 // target is a VM name (empty = rotate); mean is an inter-arrival time
 // with an ns/us/ms/s suffix (default 1ms). IRQ and TLB kinds ignore the
-// VM target and rotate over cores.
+// VM target and rotate over cores. The network kinds (partition, heal,
+// netdrop, netdelay) take a node target of the form node<N> (empty =
+// rotate over the fabric) and require an injector with SetFabric.
 func ParseSpec(spec string) ([]Rule, error) {
 	var rules []Rule
 	for _, entry := range strings.Split(spec, ",") {
@@ -419,7 +581,7 @@ func ParseSpec(spec string) ([]Rule, error) {
 			}
 			r.Mean = d
 		}
-		if !needsVM(kind) {
+		if !needsVM(kind) && !needsFabric(kind) {
 			r.Target = ""
 		}
 		rules = append(rules, r)

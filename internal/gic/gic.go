@@ -87,6 +87,8 @@ type Distributor struct {
 	maskPrio []uint8           // per core: priority mask (PMR); IRQs with priority >= mask are filtered
 	sink     Asserter
 	stats    Stats
+
+	ackIDs []int // Acknowledge scratch; reused across calls (single-threaded)
 }
 
 // Stats counts distributor activity.
@@ -284,10 +286,11 @@ func (d *Distributor) HasPending(core int) bool {
 func (d *Distributor) Acknowledge(core int) int {
 	best := SpuriousIRQ
 	var bestPrio uint8 = 0xFF
-	var ids []int
+	ids := d.ackIDs[:0]
 	for irq := range d.pending[core] {
 		ids = append(ids, irq)
 	}
+	d.ackIDs = ids
 	sort.Ints(ids) // deterministic tie-break: lowest IRQ ID wins
 	for _, irq := range ids {
 		s := d.irq(irq)

@@ -1,0 +1,81 @@
+package hafnium
+
+import (
+	"testing"
+
+	"khsim/internal/sim"
+)
+
+// unlimitedRestartManifest has max_restarts = 0: an unlimited restart
+// budget, which is exactly the configuration where the watchdog's
+// exponential backoff would overflow without the shift clamp.
+const unlimitedRestartManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 128
+
+[vm job]
+class = secondary
+vcpus = 1
+memory_mb = 64
+restart_policy = restart
+max_restarts = 0
+restart_backoff_us = 1
+`
+
+// TestWatchdogBackoffShiftClamp pins the watchdog's backoff clamp: the
+// restart delay doubles per consecutive crash but the shift saturates at
+// 16 doublings, so an endlessly-crashing VM with an unlimited budget
+// settles at base<<16 instead of overflowing into a negative (or
+// centuries-long) delay. Regression test for the `shift > 16` clamp in
+// armWatchdog.
+func TestWatchdogBackoffShiftClamp(t *testing.T) {
+	h, _ := buildTestSystem(t, unlimitedRestartManifest, map[string]GuestOS{
+		"job": &stubGuest{workChunk: sim.FromMicros(5), chunks: 1 << 30},
+	})
+	job, _ := h.VMByName("job")
+	base := sim.FromMicros(1)
+
+	delay := func(crash int) sim.Duration {
+		t.Helper()
+		if job.State() != VMRunning {
+			t.Fatalf("crash %d: vm not running (%v)", crash, job.State())
+		}
+		if err := h.InjectVMFault(job.ID(), "backoff probe"); err != nil {
+			t.Fatalf("crash %d: %v", crash, err)
+		}
+		start := h.Node().Engine.Now()
+		for job.State() != VMRunning {
+			if !h.Node().Engine.Step() {
+				t.Fatalf("crash %d: engine drained before the watchdog fired", crash)
+			}
+		}
+		return sim.Duration(h.Node().Engine.Now() - start)
+	}
+
+	// Crashes 0..18: restarts counter equals the crash ordinal when the
+	// fault lands, so the delay is base << min(ordinal, 16).
+	for i := 0; i <= 18; i++ {
+		want := base << uint(min(i, 16))
+		got := delay(i)
+		// The watchdog delay lower-bounds the observed recovery gap; the
+		// engine may interleave other events but never recovers earlier.
+		if got < want {
+			t.Fatalf("crash %d: recovered after %v, backoff floor is %v", i, got, want)
+		}
+		// The clamp keeps the gap at the saturated floor, not a doubling
+		// beyond it: allow scheduling slack but not another doubling.
+		if got >= 2*want {
+			t.Fatalf("crash %d: recovered after %v, want < %v (clamped shift)", i, got, 2*want)
+		}
+	}
+	if job.Restarts() != 19 {
+		t.Fatalf("restarts = %d, want 19", job.Restarts())
+	}
+	// The clamp saturates: crashes 16, 17, 18 all waited base<<16, so the
+	// last three recovery gaps must not have kept doubling.
+	if h.Stats().Restarts != 19 {
+		t.Fatalf("hypervisor restart counter = %d", h.Stats().Restarts)
+	}
+}

@@ -647,18 +647,24 @@ func (h *Hypervisor) watchVTimer(vc *VCPU) {
 	if at < h.node.Now() {
 		at = h.node.Now()
 	}
-	vc.vtPendEvent = h.node.Engine.ScheduleNamed(at, "hafnium.vtimer."+vc.String(), func() {
-		vc.vtPendEvent = sim.Event{}
-		if !vc.vtArmed || vc.core >= 0 {
-			return
+	if vc.vtWatchFn == nil {
+		// A VCPU's watcher is rescheduled on every deschedule with an
+		// armed vtimer; build the event name and callback once.
+		vc.vtWatchName = "hafnium.vtimer." + vc.String()
+		vc.vtWatchFn = func() {
+			vc.vtPendEvent = sim.Event{}
+			if !vc.vtArmed || vc.core >= 0 {
+				return
+			}
+			vc.vtArmed = false
+			vc.pendVIRQ(gic.IRQVirtualTimer)
+			if vc.state == VCPUBlocked {
+				vc.state = VCPURunnable
+			}
+			h.primaryOS.VCPUReady(vc)
 		}
-		vc.vtArmed = false
-		vc.pendVIRQ(gic.IRQVirtualTimer)
-		if vc.state == VCPUBlocked {
-			vc.state = VCPURunnable
-		}
-		h.primaryOS.VCPUReady(vc)
-	})
+	}
+	vc.vtPendEvent = h.node.Engine.ScheduleNamed(at, vc.vtWatchName, vc.vtWatchFn)
 }
 
 // kick sends the hypervisor's cross-core SGI to a physical core. A

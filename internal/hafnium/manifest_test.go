@@ -162,6 +162,11 @@ func TestShippedManifestsParse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if strings.Contains(string(b), "[cluster]") {
+			// Cluster manifests embed a VM plan but carry extra sections;
+			// internal/cluster's parser (and its tests) own those.
+			continue
+		}
 		m, err := ParseManifest(string(b))
 		if err != nil {
 			t.Errorf("%s: %v", f, err)

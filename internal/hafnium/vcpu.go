@@ -27,6 +27,10 @@ type VCPU struct {
 	vtDeadline  sim.Time
 	vtPendEvent sim.Event // deadline watcher while descheduled
 
+	name        string // memoized String(); a VCPU's identity never changes
+	vtWatchName string // memoized vtimer watch event name
+	vtWatchFn   func() // memoized vtimer watch callback (rescheduled often)
+
 	runs uint64
 }
 
@@ -51,7 +55,10 @@ func (vc *VCPU) Runs() uint64 { return vc.runs }
 
 // String identifies the VCPU in errors and traces.
 func (vc *VCPU) String() string {
-	return fmt.Sprintf("%s/vcpu%d", vc.vm.spec.Name, vc.index)
+	if vc.name == "" {
+		vc.name = fmt.Sprintf("%s/vcpu%d", vc.vm.spec.Name, vc.index)
+	}
+	return vc.name
 }
 
 // resident returns the physical core the VCPU occupies, or nil. Guest API

@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"khsim/internal/cluster"
+)
+
+// TestShippedClusterManifest keeps manifests/cluster-3node.manifest in
+// sync with the built-in scenario: same parse, same plan. (The hafnium
+// manifest sweep skips [cluster] files; this is their parse gate.)
+func TestShippedClusterManifest(t *testing.T) {
+	b, err := os.ReadFile("../../manifests/cluster-3node.manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cluster.ParseManifest(string(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, err := cluster.ParseManifest(ClusterManifestText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes != builtin.Nodes || m.NodePlan != builtin.NodePlan || len(m.Faults) != len(builtin.Faults) {
+		t.Fatal("shipped cluster manifest drifted from the built-in scenario")
+	}
+}
+
+// TestClusterFailover is the headline experiment: kill the leader's VM
+// mid-term and partition a follower; a new leader must appear within the
+// bounded election window, the hash-chained ledger must stay
+// prefix-consistent on every surviving node, and the partitioned node
+// must catch up after the heal.
+func TestClusterFailover(t *testing.T) {
+	r, err := RunClusterFailover(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, r.Summary())
+	}
+	if r.LeaderBefore == r.LeaderAfter {
+		t.Fatalf("leadership never moved: %d", r.LeaderBefore)
+	}
+	if r.PartitionNode < 0 || r.HealAt <= r.PartitionAt {
+		t.Fatalf("partition schedule did not run: node=%d %v..%v", r.PartitionNode, r.PartitionAt, r.HealAt)
+	}
+	// The killed VM's watchdog brought it back (one restart), and the
+	// partition cost the fabric real messages.
+	if r.Restarts[r.LeaderBefore] < 1 {
+		t.Fatalf("killed leader n%d was never restarted", r.LeaderBefore)
+	}
+	if r.Fabric.DroppedPartition == 0 {
+		t.Fatal("partition dropped no messages")
+	}
+	for i, s := range r.VMStates {
+		if s != "running" {
+			t.Fatalf("n%d replica VM ended %s", i, s)
+		}
+	}
+}
+
+// TestClusterFailoverDeterministic is the observability gate in test
+// form: two same-seed runs must produce byte-identical merged artifacts
+// (protocol trace, fault campaign, and outcome included), and a
+// different seed must not.
+func TestClusterFailoverDeterministic(t *testing.T) {
+	a, err := RunClusterFailover(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunClusterFailover(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Artifact() != b.Artifact() {
+		t.Fatal("same-seed artifacts differ")
+	}
+	if a.EventsFired != b.EventsFired {
+		t.Fatalf("event counts differ: %d vs %d", a.EventsFired, b.EventsFired)
+	}
+	c, err := RunClusterFailover(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Artifact() == c.Artifact() {
+		t.Fatal("different seeds produced identical artifacts")
+	}
+}
+
+// TestClusterFailoverAcrossSeeds checks the safety properties hold for
+// several seeds, not just a lucky one: whoever leads, however the
+// timeouts fall, failover stays bounded and the ledger stays consistent.
+func TestClusterFailoverAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 99, 1234} {
+		r, err := RunClusterFailover(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := r.Check(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, r.Summary())
+		}
+	}
+}
+
+// TestClusterManifestStaticTargets drives the injector path: static
+// node<N> network faults route through faults.Injector rules.
+func TestClusterManifestStaticTargets(t *testing.T) {
+	text := strings.Replace(ClusterManifestText, "target = follower", "target = node2", 1)
+	text = strings.Replace(text, "target = partitioned", "target = node2", 1)
+	m, err := cluster.ParseManifest(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunClusterManifest(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Injected.Injected != 2 {
+		t.Fatalf("injector fired %d faults, want 2 (partition + heal)", r.Injected.Injected)
+	}
+	if !r.PrefixConsistent {
+		t.Fatal("ledgers diverged")
+	}
+	if err := r.Check(); err != nil {
+		// The static-node partition can race the failover (node2 may be
+		// the new leader); safety must still hold even when convergence
+		// is the casualty within the run window.
+		if !r.PrefixConsistent || len(r.ChainErrs) > 0 {
+			t.Fatalf("safety violated: %v\n%s", err, r.Summary())
+		}
+		t.Logf("liveness note (acceptable for static targets): %v", err)
+	}
+}

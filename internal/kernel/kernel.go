@@ -112,6 +112,9 @@ type Kernel struct {
 	vcTask  map[*hafnium.VCPU]*Task
 	started bool
 
+	labelIRQ string // cfg.Label + ".irq", built once (IRQ hot path)
+	labelFwd string // cfg.Label + ".fwd", built once (IRQ hot path)
+
 	kthreads []*Task
 
 	// OnMessage, if set, overrides the built-in control-task command
@@ -151,6 +154,8 @@ func newKernel(node *machine.Node, h *hafnium.Hypervisor, pol Policy, cfg Config
 		current: make([]*Task, len(node.Cores)),
 		vcTask:  make(map[*hafnium.VCPU]*Task),
 	}
+	k.labelIRQ = cfg.Label + ".irq"
+	k.labelFwd = cfg.Label + ".fwd"
 	mx := node.Metrics
 	k.mTicks = mx.Counter(metrics.K("kernel", "ticks"))
 	k.mWakeups = mx.Counter(metrics.K("kernel", "wakeups"))
@@ -322,7 +327,7 @@ func (k *Kernel) dispatch(c *machine.Core) {
 	default:
 		// A native LWK has no drivers to speak of; unknown IRQs are
 		// charged their delivery cost and dropped.
-		c.Exec(k.cfg.Label+".irq", entry, nil)
+		c.Exec(k.labelIRQ, entry, nil)
 	}
 }
 
@@ -349,7 +354,7 @@ func (k *Kernel) HandleIRQ(c *machine.Core, irq int) {
 		// Device interrupt: the paper's current routing — "route all
 		// interrupts to the primary VM which is then responsible for
 		// forwarding any device IRQ on to the super-secondary".
-		c.Exec(k.cfg.Label+".fwd", k.cfg.CtxSwitch, func() {
+		c.Exec(k.labelFwd, k.cfg.CtxSwitch, func() {
 			if super := k.h.Super(); super != nil {
 				if err := k.h.InjectDeviceIRQ(super.ID(), irq); err == nil {
 					k.forwards++
@@ -360,7 +365,7 @@ func (k *Kernel) HandleIRQ(c *machine.Core, irq int) {
 		})
 	default:
 		// Stray SGI/PPI: count nothing, just resume.
-		c.Exec(k.cfg.Label+".irq", k.cfg.CtxSwitch/2, func() { k.resume(c) })
+		c.Exec(k.labelIRQ, k.cfg.CtxSwitch/2, func() { k.resume(c) })
 	}
 }
 

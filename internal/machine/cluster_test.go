@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"testing"
+
+	"khsim/internal/net"
+	"khsim/internal/sim"
+)
+
+func testClusterConfig(nodes int, seed uint64) ClusterConfig {
+	return ClusterConfig{
+		Nodes: nodes,
+		Node: Config{
+			Cores:  2,
+			Freq:   DefaultFreq,
+			DRAMMB: 64,
+			SPIs:   32,
+			DRAM:   DefaultDRAM(),
+			Costs:  DefaultCosts(DefaultFreq),
+		},
+		Seed: seed,
+	}
+}
+
+func TestClusterFiresGlobalOrder(t *testing.T) {
+	c := MustNewCluster(testClusterConfig(3, 7))
+	var order []int
+	for i, n := range c.Nodes {
+		id := i
+		// Node i schedules at (3-i) µs, so firing order must be 2,1,0.
+		n.Engine.ScheduleNamed(sim.Time(0).Add(sim.FromMicros(float64(3-i))), "t", func() {
+			order = append(order, id)
+		})
+	}
+	// Same-instant tie: nodes 0 and 1 both at 10 µs — lowest index first.
+	at := sim.Time(0).Add(sim.FromMicros(10))
+	c.Nodes[1].Engine.ScheduleNamed(at, "tie", func() { order = append(order, 11) })
+	c.Nodes[0].Engine.ScheduleNamed(at, "tie", func() { order = append(order, 10) })
+	c.Run(sim.FromMicros(20))
+	want := []int{2, 1, 0, 10, 11}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	if c.Now() != sim.Time(0).Add(sim.FromMicros(20)) {
+		t.Fatalf("Now = %v after Run(20µs)", c.Now())
+	}
+	for _, n := range c.Nodes {
+		if n.Engine.Now() != c.Now() {
+			t.Fatalf("node clock %v lags cluster %v", n.Engine.Now(), c.Now())
+		}
+	}
+}
+
+func TestClusterDerivesDistinctSeeds(t *testing.T) {
+	c := MustNewCluster(testClusterConfig(4, 99))
+	// Distinct engine seeds -> distinct RNG streams: the first draws on
+	// each node should not all collide.
+	draws := map[uint64]bool{}
+	for _, n := range c.Nodes {
+		draws[n.Engine.RNG().Uint64()] = true
+	}
+	if len(draws) < 3 {
+		t.Fatalf("node RNG streams collide: %d distinct draws from 4 nodes", len(draws))
+	}
+}
+
+func TestClusterFabricDelivery(t *testing.T) {
+	c := MustNewCluster(testClusterConfig(2, 5))
+	var got []string
+	if err := c.Fabric.Bind(1, func(m net.Message) {
+		got = append(got, m.Kind)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Nodes[0].Engine.ScheduleNamed(sim.Time(0).Add(sim.FromMicros(1)), "send", func() {
+		if err := c.Fabric.Send(0, 1, "ping", nil, 64); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run(sim.FromMicros(500))
+	if len(got) != 1 || got[0] != "ping" {
+		t.Fatalf("delivered %v, want [ping]", got)
+	}
+	if c.Fired() == 0 {
+		t.Fatal("Fired() should count the cross-node delivery")
+	}
+}
+
+func TestClusterRejectsBadConfig(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Nodes: 0}); err == nil {
+		t.Fatal("accepted 0 nodes")
+	}
+}

@@ -292,6 +292,23 @@ func (e *Engine) fire(s *slot) {
 	fn()
 }
 
+// NextAt reports the timestamp of the next live event without firing it,
+// or false when the queue is drained (or Stop was called). Multiplexers
+// that interleave several engines — the cluster layer picking the
+// globally earliest event across nodes — use this to decide whose Step
+// runs next. Cancelled slots at the front are collected as a side effect,
+// exactly as Step would.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.stopped {
+		return 0, false
+	}
+	s := e.nextLive()
+	if s == nil {
+		return 0, false
+	}
+	return s.when, true
+}
+
 // Step fires the next event, advancing the clock to its timestamp. It
 // reports false when the queue is empty or Stop was called.
 func (e *Engine) Step() bool {

@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+func TestEngineNextAt(t *testing.T) {
+	e := NewEngine(1)
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("empty engine reported a next event")
+	}
+	at := Time(0).Add(FromMicros(5))
+	ev := e.ScheduleNamed(at, "a", func() {})
+	if got, ok := e.NextAt(); !ok || got != at {
+		t.Fatalf("NextAt = %v,%v want %v,true", got, ok, at)
+	}
+	// NextAt must skip lazily-cancelled events without firing anything.
+	e.Cancel(ev)
+	later := at.Add(FromMicros(1))
+	e.ScheduleNamed(later, "b", func() {})
+	if got, ok := e.NextAt(); !ok || got != later {
+		t.Fatalf("NextAt after cancel = %v,%v want %v,true", got, ok, later)
+	}
+	if e.Fired() != 0 {
+		t.Fatal("NextAt fired events")
+	}
+	// After stepping the queue dry, NextAt reports nothing again.
+	for e.Step() {
+	}
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("drained engine reported a next event")
+	}
+	// Same-instant fast-lane events are visible too.
+	e.ScheduleNamed(e.Now(), "now", func() {})
+	if got, ok := e.NextAt(); !ok || got != e.Now() {
+		t.Fatalf("NextAt same-instant = %v,%v want %v,true", got, ok, e.Now())
+	}
+}

@@ -1,0 +1,162 @@
+package tz
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the fleet-facing attestation ledger: a hash-chained,
+// append-only log of attestation records (VM boots, restarts, measured
+// images) in the style of the measured-boot PCR chain in internal/boot,
+// but designed for replication. Each record's hash covers its index, the
+// replication term it was appended under, its payload, and the previous
+// record's hash, so two logs that agree on the hash at index i agree on
+// the *entire* prefix up to i — the property the Raft-lite layer uses in
+// place of Raft's (prevLogIndex, prevLogTerm) consistency check, and the
+// property the failover experiment asserts across surviving nodes.
+
+// AttestRecord is one link of the attestation hash-chain. Indexing is
+// 1-based; index 0 is the empty log whose hash is the zero digest.
+type AttestRecord struct {
+	Index   uint64
+	Term    uint64 // replication term the record was appended under
+	Payload []byte
+	Hash    [32]byte // H(prevHash || index || term || payload)
+}
+
+// chainHash computes a record's hash over the previous link.
+func chainHash(prev [32]byte, index, term uint64, payload []byte) [32]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], index)
+	binary.LittleEndian.PutUint64(buf[8:], term)
+	h.Write(buf[:])
+	h.Write(payload)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// AttestLog is an append-only hash-chained attestation log. The zero
+// value is not usable; build with NewAttestLog.
+type AttestLog struct {
+	recs []AttestRecord
+}
+
+// NewAttestLog returns an empty log.
+func NewAttestLog() *AttestLog { return &AttestLog{} }
+
+// Len reports the index of the last record (0 for an empty log).
+func (l *AttestLog) Len() uint64 { return uint64(len(l.recs)) }
+
+// HashAt reports the chain hash at index i (the zero digest at 0). It
+// returns false when i exceeds the log.
+func (l *AttestLog) HashAt(i uint64) ([32]byte, bool) {
+	if i == 0 {
+		return [32]byte{}, true
+	}
+	if i > l.Len() {
+		return [32]byte{}, false
+	}
+	return l.recs[i-1].Hash, true
+}
+
+// Head reports the hash of the last record (the zero digest when empty).
+func (l *AttestLog) Head() [32]byte {
+	h, _ := l.HashAt(l.Len())
+	return h
+}
+
+// At returns record i (1-based).
+func (l *AttestLog) At(i uint64) (AttestRecord, bool) {
+	if i == 0 || i > l.Len() {
+		return AttestRecord{}, false
+	}
+	return l.recs[i-1], true
+}
+
+// Slice returns records (from, to] for shipping to a replica; to = Len()
+// ships the whole suffix. The returned slice aliases the log — callers
+// must not mutate it.
+func (l *AttestLog) Slice(from, to uint64) []AttestRecord {
+	if to > l.Len() {
+		to = l.Len()
+	}
+	if from >= to {
+		return nil
+	}
+	return l.recs[from:to]
+}
+
+// Append extends the chain with a new payload under term, computing the
+// link hash, and returns the appended record.
+func (l *AttestLog) Append(term uint64, payload []byte) AttestRecord {
+	prev := l.Head()
+	rec := AttestRecord{
+		Index:   l.Len() + 1,
+		Term:    term,
+		Payload: payload,
+		Hash:    chainHash(prev, l.Len()+1, term, payload),
+	}
+	l.recs = append(l.recs, rec)
+	return rec
+}
+
+// AppendRecord appends a replicated record, verifying it extends this
+// log's chain: its index must be Len()+1 and its hash must recompute over
+// our head. A mismatch means the record belongs to a divergent chain.
+func (l *AttestLog) AppendRecord(rec AttestRecord) error {
+	if rec.Index != l.Len()+1 {
+		return fmt.Errorf("tz: attest record index %d does not extend log of length %d", rec.Index, l.Len())
+	}
+	want := chainHash(l.Head(), rec.Index, rec.Term, rec.Payload)
+	if rec.Hash != want {
+		return fmt.Errorf("tz: attest record %d hash does not chain from our head", rec.Index)
+	}
+	l.recs = append(l.recs, rec)
+	return nil
+}
+
+// TruncateFrom discards records with index ≥ i (conflict resolution when
+// a leader overwrites an uncommitted divergent suffix). TruncateFrom(1)
+// empties the log.
+func (l *AttestLog) TruncateFrom(i uint64) {
+	if i == 0 {
+		i = 1
+	}
+	if i > l.Len() {
+		return
+	}
+	l.recs = l.recs[:i-1]
+}
+
+// PrefixConsistent reports whether a and b agree on their common prefix —
+// the replicated-ledger safety property. With hash-chained records,
+// comparing the chain hash at min(len) decides the whole prefix.
+func PrefixConsistent(a, b *AttestLog) bool {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	ha, _ := a.HashAt(n)
+	hb, _ := b.HashAt(n)
+	return ha == hb
+}
+
+// Verify replays the whole chain and reports the first broken link, if
+// any — the auditor's integrity check.
+func (l *AttestLog) Verify() error {
+	prev := [32]byte{}
+	for i, r := range l.recs {
+		if r.Index != uint64(i)+1 {
+			return fmt.Errorf("tz: attest record %d carries index %d", i+1, r.Index)
+		}
+		if want := chainHash(prev, r.Index, r.Term, r.Payload); r.Hash != want {
+			return fmt.Errorf("tz: attest chain broken at index %d", r.Index)
+		}
+		prev = r.Hash
+	}
+	return nil
+}
