@@ -28,9 +28,12 @@ lint:
 # obscheck is the observability gate: the metrics snapshot must be
 # deterministic across same-seed runs, the Perfetto trace export must
 # pass schema validation (khsim trace -check exits non-zero otherwise),
-# and the cluster failover experiment must hold its properties (bounded
+# the cluster failover experiment must hold its properties (bounded
 # failover, converged ledgers) with a byte-identical merged trace
-# artifact across two same-seed runs.
+# artifact across two same-seed runs, and the snapshot/fork contract
+# must hold: forked timelines replay bit-identically (khsim snapshot
+# -check), with the experiment artifact itself byte-identical across
+# two same-seed processes.
 obscheck: build
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/khsim metrics -config kitten -bench stream -seed 1 > "$$tmp/a.metrics" && \
@@ -40,6 +43,9 @@ obscheck: build
 	$(GO) run ./cmd/khsim cluster -seed 1 -check -artifact "$$tmp/a.cluster" > /dev/null && \
 	$(GO) run ./cmd/khsim cluster -seed 1 -check -artifact "$$tmp/b.cluster" > /dev/null && \
 	cmp "$$tmp/a.cluster" "$$tmp/b.cluster" || { echo "obscheck: cluster failover trace not deterministic"; exit 1; }; \
+	$(GO) run ./cmd/khsim snapshot -seed 1 -check -artifact "$$tmp/a.snap" > /dev/null && \
+	$(GO) run ./cmd/khsim snapshot -seed 1 -check -artifact "$$tmp/b.snap" > /dev/null && \
+	cmp "$$tmp/a.snap" "$$tmp/b.snap" || { echo "obscheck: snapshot fork replay not deterministic"; exit 1; }; \
 	echo "obscheck: ok"
 
 # check is the full pre-merge gate: build, vet, the test suite under the

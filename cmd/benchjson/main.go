@@ -14,6 +14,12 @@
 //	cluster-failover the 3-node replicated-attestation failover
 //	                 experiment, measured end to end (no warmup; the
 //	                 whole run including construction is the window).
+//	snapshot-fork    the whole-node snapshot/fork hot path: "events" are
+//	                 Node.Fork calls (full copy-on-write restores), so
+//	                 ns/event reads as ns/fork. The file also carries a
+//	                 "snapshot-fork" comparison block pinning fork cost
+//	                 against cold stack construction; -check requires
+//	                 the cold boot to stay ≥ 10× a fork.
 //
 // Reported per scenario: ns/event (wall nanoseconds per simulation event,
 // best of -reps), events/sec, allocs/event (Go heap allocations per event
@@ -65,6 +71,19 @@ type ScenarioResult struct {
 	SimSeconds     float64 `json:"sim_seconds"`
 }
 
+// ForkResult compares the warm snapshot-fork path against cold stack
+// construction: ns and allocs per Node.Fork (a full whole-node restore,
+// copy-on-write under the stage-2 tables) versus ns per cold build+boot
+// of the same stack. The fork gate requires the speedup to stay ≥ 10×.
+type ForkResult struct {
+	NsPerFork      float64 `json:"ns_per_fork"`
+	AllocsPerFork  float64 `json:"allocs_per_fork"`
+	NsPerColdBoot  float64 `json:"ns_per_cold_boot"`
+	ColdOverFork   float64 `json:"cold_boot_over_fork"`
+	Forks          uint64  `json:"forks"`
+	ColdBootsTimed uint64  `json:"cold_boots_timed"`
+}
+
 // Baseline is a pinned historical run kept for trajectory comparison.
 type Baseline struct {
 	Label     string                    `json:"label"`
@@ -81,6 +100,7 @@ type File struct {
 	// the checking machine's calibration to this.
 	CalibNsPerOp float64                   `json:"calib_ns_per_op,omitempty"`
 	Baseline     *Baseline                 `json:"baseline,omitempty"`
+	Fork         *ForkResult               `json:"snapshot-fork,omitempty"`
 	Scenarios    map[string]ScenarioResult `json:"scenarios"`
 }
 
@@ -318,6 +338,110 @@ func clusterScenario() (measure, error) {
 	}, nil
 }
 
+// forkManifest is the snapshot-fork scenario's partition plan: the
+// benchmark node with the watchdog's warm-restore opt-in, matching the
+// harness snapshot experiments.
+const forkManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 256
+
+[vm job]
+class = secondary
+vcpus = 1
+memory_mb = 512
+working_set_pages = 256
+restart_policy = restart
+max_restarts = 8
+restart_backoff_us = 500
+restart_from_snapshot = true
+`
+
+// buildForkStack cold-builds and boots the snapshot stack, reporting how
+// long construction took (the fork comparison's baseline).
+func buildForkStack() (*core.SecureNode, time.Duration, error) {
+	t0 := time.Now()
+	n, err := core.NewSecureNode(core.Options{
+		Seed: 7, Manifest: forkManifest, Scheduler: core.SchedulerKitten,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	s := noise.NewSelfish("fork", sim.FromSeconds(30))
+	s.ChunkTime = sim.FromMicros(50)
+	guest := kitten.NewGuest(kitten.DefaultParams())
+	guest.Attach(0, s)
+	n.Machine.RegisterSnapshotter("proc."+s.Name(), s)
+	if err := n.AttachGuest("job", guest); err != nil {
+		return nil, 0, err
+	}
+	if err := n.Boot(); err != nil {
+		return nil, 0, err
+	}
+	return n, time.Since(t0), nil
+}
+
+// forkBlock accumulates the best fork and cold-boot numbers across reps
+// for the File's snapshot-fork comparison block.
+var forkBlock *ForkResult
+
+// forkScenario: the snapshot/fork hot path. Cold-boots the stack a few
+// times (the baseline), warms the survivor to a snapshot point, then
+// repeatedly forks the timeline and runs a short divergence window —
+// timing and alloc-counting only the Fork calls, which are full
+// whole-node restores with copy-on-write stage-2 sharing. Reported as a
+// pseudo-scenario: "events" are forks, ns/event is ns/fork.
+func forkScenario() (measure, error) {
+	const (
+		forks    = 256
+		coldReps = 4
+	)
+	coldBest := time.Duration(math.MaxInt64)
+	var n *core.SecureNode
+	for i := 0; i < coldReps; i++ {
+		nn, w, err := buildForkStack()
+		if err != nil {
+			return measure{}, err
+		}
+		if w < coldBest {
+			coldBest = w
+		}
+		n = nn
+	}
+	n.Run(sim.FromSeconds(0.005)) // warm to the fork point
+	snap := n.Machine.Snapshot()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	var wall time.Duration
+	var mallocs uint64
+	for i := 0; i < forks; i++ {
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		n.Machine.Fork(snap)
+		wall += time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		mallocs += m1.Mallocs - m0.Mallocs
+		// Dirty the timeline so the next fork rewinds real work.
+		n.Run(sim.FromMicros(100))
+	}
+	fb := &ForkResult{
+		NsPerFork:      float64(wall.Nanoseconds()) / forks,
+		AllocsPerFork:  float64(mallocs) / forks,
+		NsPerColdBoot:  float64(coldBest.Nanoseconds()),
+		Forks:          forks,
+		ColdBootsTimed: coldReps,
+	}
+	if forkBlock != nil {
+		fb.NsPerFork = math.Min(fb.NsPerFork, forkBlock.NsPerFork)
+		fb.AllocsPerFork = math.Min(fb.AllocsPerFork, forkBlock.AllocsPerFork)
+		fb.NsPerColdBoot = math.Min(fb.NsPerColdBoot, forkBlock.NsPerColdBoot)
+	}
+	fb.ColdOverFork = fb.NsPerColdBoot / fb.NsPerFork
+	forkBlock = fb
+	return measure{events: forks, allocs: mallocs, wall: wall}, nil
+}
+
 var scenarios = []struct {
 	name string
 	run  func() (measure, error)
@@ -326,6 +450,7 @@ var scenarios = []struct {
 	{"stream", streamScenario},
 	{"fault-storm-4vm", stormScenario},
 	{"cluster-failover", clusterScenario},
+	{"snapshot-fork", forkScenario},
 }
 
 // runAll measures every scenario reps times. Recording (median=true)
@@ -435,6 +560,19 @@ func main() {
 					name, got.NsPerEvent, want.NsPerEvent, limit)
 			}
 		}
+		if ref.Fork != nil {
+			if forkBlock == nil {
+				fmt.Fprintln(os.Stderr, "benchjson: snapshot-fork block committed but no fork measurement ran")
+				failed = true
+			} else if forkBlock.ColdOverFork < 10 {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION snapshot-fork: cold boot is only %.1f× a fork (%.1f µs vs %.1f µs), gate is 10×\n",
+					forkBlock.ColdOverFork, forkBlock.NsPerColdBoot/1e3, forkBlock.NsPerFork/1e3)
+				failed = true
+			} else {
+				fmt.Printf("check snapshot-fork    ok: fork %.1f µs vs cold boot %.1f µs (%.0f×, gate 10×)\n",
+					forkBlock.NsPerFork/1e3, forkBlock.NsPerColdBoot/1e3, forkBlock.ColdOverFork)
+			}
+		}
 		if failed {
 			os.Exit(1)
 		}
@@ -446,6 +584,7 @@ func main() {
 			Go:           runtime.Version(),
 			Note:         "wall-clock throughput of the internal/sim discrete-event engine; see EXPERIMENTS.md",
 			CalibNsPerOp: calibrate(),
+			Fork:         forkBlock,
 			Scenarios:    results,
 		}
 		if prev, err := readFile(*out); err == nil {

@@ -9,6 +9,7 @@
 //	khsim cluster [-manifest FILE] [-seed S] [-artifact FILE] [-trace] [-check]
 //	khsim metrics [-config native|kitten|linux] [-bench NAME] [-seed S] [-format text|json]
 //	khsim trace [-config native|kitten|linux] [-bench NAME] [-seed S] [-format perfetto|tsv] [-out FILE] [-check]
+//	khsim snapshot [-seed S] [-artifact FILE] [-check] [-sweep [-delays LIST] [-window-ms N]]
 //
 // With no manifest the paper's evaluation partition plan is used. Bench
 // names: hpcg, stream, randomaccess, nas-lu, nas-bt, nas-cg, nas-ep,
@@ -33,6 +34,14 @@
 // deterministically: same seed, same snapshot, byte for byte. The trace
 // subcommand exports the run's event trace as Chrome trace-event JSON
 // loadable in Perfetto (ui.perfetto.dev), or as TSV.
+//
+// The snapshot subcommand demonstrates the whole-stack snapshot/fork
+// contract: it captures a running stack mid-simulation, forks the
+// timeline twice verbatim and once with an injected VM crash, and
+// verifies the verbatim forks replay bit-identically while the faulted
+// one diverges through the watchdog's warm snapshot restore. -sweep
+// instead runs the fork-based sweep: one boot, one warm snapshot, one
+// forked timeline per fault-injection delay.
 package main
 
 import (
@@ -234,6 +243,9 @@ func main() {
 			return
 		case "trace":
 			traceCmd(os.Args[2:])
+			return
+		case "snapshot":
+			snapshotCmd(os.Args[2:])
 			return
 		}
 	}

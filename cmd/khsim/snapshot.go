@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"khsim/internal/harness"
+	"khsim/internal/sim"
+)
+
+// snapshotCmd implements `khsim snapshot`: the whole-stack snapshot /
+// copy-on-write fork demonstration. By default it runs the determinism
+// experiment — capture mid-run, fork the timeline twice verbatim and
+// once with an injected VM crash — and prints the verdict. -sweep runs
+// the fork-based parameter sweep instead (boot once, fork the warm
+// snapshot per fault-delay cell). -check exits non-zero unless the
+// fork-determinism contract holds, and -artifact writes the byte-
+// comparable experiment artifact (the obscheck fork gate runs the
+// command twice and compares the files).
+func snapshotCmd(args []string) {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same artifact)")
+	artifact := fs.String("artifact", "", "write the deterministic experiment artifact to FILE")
+	check := fs.Bool("check", false, "exit non-zero unless forked timelines replay bit-identically")
+	sweep := fs.Bool("sweep", false, "run the fork-based fault-delay sweep instead")
+	sweepDelays := fs.String("delays", "none,0.5ms,1ms,2ms,4ms",
+		"comma-separated crash delays for -sweep ('none' = control cell)")
+	sweepWindow := fs.Float64("window-ms", 8, "per-cell window for -sweep, in simulated milliseconds")
+	fs.Parse(args)
+
+	if *sweep {
+		var kills []sim.Duration
+		for _, f := range strings.Split(*sweepDelays, ",") {
+			f = strings.TrimSpace(f)
+			if f == "none" {
+				kills = append(kills, -1)
+				continue
+			}
+			d, err := parseSweepDelay(f)
+			if err != nil {
+				fail(err)
+			}
+			kills = append(kills, d)
+		}
+		rep, err := harness.RunForkSweep(*seed, kills, sim.Duration(*sweepWindow*float64(sim.Millisecond)))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.String())
+		return
+	}
+
+	rep, err := harness.RunSnapshotCheck(*seed)
+	if err != nil {
+		fail(err)
+	}
+	if *artifact != "" {
+		if err := os.WriteFile(*artifact, []byte(rep.Artifact()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Print(rep.String())
+	if *check {
+		if err := rep.Check(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// parseSweepDelay parses "500us" / "0.5ms" / "2ms" into a Duration.
+func parseSweepDelay(s string) (sim.Duration, error) {
+	var v float64
+	var unit sim.Duration
+	var num string
+	switch {
+	case strings.HasSuffix(s, "us"):
+		unit, num = sim.Microsecond, strings.TrimSuffix(s, "us")
+	case strings.HasSuffix(s, "ms"):
+		unit, num = sim.Millisecond, strings.TrimSuffix(s, "ms")
+	default:
+		return 0, fmt.Errorf("delay %q needs a us or ms suffix", s)
+	}
+	if _, err := fmt.Sscanf(num, "%g", &v); err != nil || v < 0 {
+		return 0, fmt.Errorf("bad delay %q", s)
+	}
+	return sim.Duration(v * float64(unit)), nil
+}

@@ -78,6 +78,16 @@ type SecureNode struct {
 	Monitor *tz.Monitor
 	Chain   *boot.Chain
 	Hyp     *hafnium.Hypervisor
+	// AttestLog is the node-local hash-chained attestation ledger. Real VM
+	// lifecycle transitions — contained crashes, watchdog restarts (cold or
+	// from the warm snapshot), quarantines — are appended here as they
+	// happen; replication layers ship these records fleet-wide.
+	AttestLog *tz.AttestLog
+
+	// OnLifecycle, if set, observes hypervisor lifecycle events after they
+	// have been appended to AttestLog (e.g. to propose them to a
+	// replicated ledger). Set before Boot.
+	OnLifecycle func(hafnium.LifecycleEvent)
 
 	Scheduler Scheduler
 	// Exactly one of the two is non-nil, matching Scheduler.
@@ -134,9 +144,23 @@ func NewSecureNode(opts Options) (*SecureNode, error) {
 		Monitor:   monitor,
 		Chain:     chain,
 		Hyp:       hyp,
+		AttestLog: tz.NewAttestLog(),
 		Scheduler: opts.Scheduler,
 		opts:      opts,
 	}
+	// Every lifecycle transition becomes a ledger record the moment it
+	// happens (term 0: local evidence; replication stamps its own terms).
+	hyp.SetLifecycleHook(func(ev hafnium.LifecycleEvent) {
+		n.AttestLog.Append(0, []byte(fmt.Sprintf(
+			"lifecycle %s vm=%s restarts=%d reason=%q", ev.Kind, ev.VM, ev.Restarts, ev.Reason)))
+		if n.OnLifecycle != nil {
+			n.OnLifecycle(ev)
+		}
+	})
+	// Secure-world and ledger state join the node's composite snapshot
+	// (the hypervisor and primary kernel register themselves).
+	node.RegisterSnapshotter("tz.monitor", monitor)
+	node.RegisterSnapshotter("tz.attestlog", n.AttestLog)
 	switch opts.Scheduler {
 	case SchedulerKitten:
 		p := opts.Kitten
@@ -174,6 +198,9 @@ func (n *SecureNode) AttachGuest(vmName string, g hafnium.GuestOS, cores ...int)
 	}
 	if err := n.Hyp.AttachGuest(vm.ID(), g); err != nil {
 		return err
+	}
+	if s, ok := g.(sim.Snapshotter); ok {
+		n.Machine.RegisterSnapshotter("guest."+vmName, s)
 	}
 	return n.primary.AddVM(vm, cores...)
 }

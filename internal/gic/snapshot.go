@@ -1,0 +1,74 @@
+package gic
+
+import (
+	"fmt"
+
+	"khsim/internal/sim"
+)
+
+// distributorState is Distributor's Snapshot payload: deep copies of all
+// per-IRQ and per-core state.
+type distributorState struct {
+	state    map[int]irqState
+	pending  []map[int]bool
+	active   []map[int]bool
+	maskPrio []uint8
+	stats    Stats
+}
+
+func copyIRQSets(sets []map[int]bool) []map[int]bool {
+	out := make([]map[int]bool, len(sets))
+	for i, set := range sets {
+		cp := make(map[int]bool, len(set))
+		for irq, v := range set {
+			if v {
+				cp[irq] = true
+			}
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// Snapshot deep-copies per-IRQ configuration, per-core pending/active
+// sets, priority masks and counters. Distributor implements
+// sim.Snapshotter. The delivery sink and scratch buffers are topology,
+// not state, and are left alone.
+func (d *Distributor) Snapshot() sim.State {
+	s := &distributorState{
+		state:    make(map[int]irqState, len(d.state)),
+		pending:  copyIRQSets(d.pending),
+		active:   copyIRQSets(d.active),
+		maskPrio: append([]uint8(nil), d.maskPrio...),
+		stats:    d.stats,
+	}
+	for irq, st := range d.state {
+		s.state[irq] = *st
+	}
+	return s
+}
+
+// Restore reinstalls a snapshot taken on this distributor.
+func (d *Distributor) Restore(st sim.State) {
+	s, ok := st.(*distributorState)
+	if !ok {
+		panic(fmt.Sprintf("gic: Distributor.Restore of foreign state %T", st))
+	}
+	d.state = make(map[int]*irqState, len(s.state))
+	for irq, v := range s.state {
+		cp := v
+		d.state[irq] = &cp
+	}
+	for i := range d.pending {
+		d.pending[i] = make(map[int]bool, len(s.pending[i]))
+		for irq := range s.pending[i] {
+			d.pending[i][irq] = true
+		}
+		d.active[i] = make(map[int]bool, len(s.active[i]))
+		for irq := range s.active[i] {
+			d.active[i][irq] = true
+		}
+	}
+	copy(d.maskPrio, s.maskPrio)
+	d.stats = s.stats
+}

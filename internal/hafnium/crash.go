@@ -103,6 +103,7 @@ func (h *Hypervisor) containCrash(vm *VM, reason string) bool {
 	vm.s2cache.Flush()
 	h.revokeGrants(vm)
 	vm.mailbox = nil
+	h.lifecycle("crash", vm, reason)
 	h.armWatchdog(vm)
 	return true
 }
@@ -171,37 +172,54 @@ func (h *Hypervisor) armWatchdog(vm *VM) {
 		vm.state = VMQuarantined
 		h.stats.Quarantines++
 		h.metric("quarantines", vm).Inc()
+		h.lifecycle("quarantine", vm, vm.crashReason)
 	}
 }
 
-// recoverVM returns a crashed VM to service with a scrubbed image: a
-// fresh stage-2 table (clearing any injected corruption), re-mapped RAM
-// and device windows, reset VCPUs, and a fresh boot of the guest kernel
-// driven through the primary's VCPUReady path.
+// recoverVM returns a crashed VM to service with a scrubbed image and a
+// fresh boot of the guest kernel driven through the primary's VCPUReady
+// path. The stage-2 image comes back one of two ways: by default a cold
+// rebuild (fresh table, re-mapped RAM and device windows); with
+// restart_from_snapshot, a rewind of the live table to the warm
+// boot-time snapshot — O(pages dirtied since boot) thanks to
+// copy-on-write sharing, rather than O(mapped pages). RAM is scrubbed
+// (and charged) either way; only the translation-table work is saved.
 func (h *Hypervisor) recoverVM(vm *VM) {
 	if vm.state != VMCrashed {
 		return
 	}
 	h.stats.ScrubbedPages += vm.ramSize / mem.PageSize
 	h.metric("scrubbed_pages", vm).Add(vm.ramSize / mem.PageSize)
-	vm.stage2 = mmu.NewTable(fmt.Sprintf("s2.%s", vm.spec.Name))
-	vm.s2cache = mmu.NewWalkCache(vm.stage2, 0)
-	if err := vm.stage2.Map(GuestRAMBase, uint64(vm.ramPA), vm.ramSize, mmu.PermRWX); err != nil {
-		panic(fmt.Sprintf("hafnium: rebuilding %s stage-2 RAM: %v", vm.spec.Name, err))
-	}
-	mmio := vm.mmio
-	vm.mmio = nil
-	for _, r := range mmio {
-		if err := vm.mapMMIO(r); err != nil {
-			panic(fmt.Sprintf("hafnium: rebuilding %s stage-2 MMIO: %v", vm.spec.Name, err))
+	kind := "restart"
+	if vm.spec.RestartFromSnapshot && vm.warmS2 != nil {
+		// Warm path: the table object is never swapped, so the walk cache
+		// self-invalidates off the table's bumped generation.
+		vm.stage2.Restore(vm.warmS2)
+		vm.nextShareIPA = vm.warmShareIPA
+		h.stats.SnapshotRestores++
+		h.metric("snapshot_restores", vm).Inc()
+		kind = "snapshot-restore"
+	} else {
+		vm.stage2 = mmu.NewTable(fmt.Sprintf("s2.%s", vm.spec.Name))
+		vm.s2cache = mmu.NewWalkCache(vm.stage2, 0)
+		if err := vm.stage2.Map(GuestRAMBase, uint64(vm.ramPA), vm.ramSize, mmu.PermRWX); err != nil {
+			panic(fmt.Sprintf("hafnium: rebuilding %s stage-2 RAM: %v", vm.spec.Name, err))
 		}
+		mmio := vm.mmio
+		vm.mmio = nil
+		for _, r := range mmio {
+			if err := vm.mapMMIO(r); err != nil {
+				panic(fmt.Sprintf("hafnium: rebuilding %s stage-2 MMIO: %v", vm.spec.Name, err))
+			}
+		}
+		vm.nextShareIPA = shareIPABase
 	}
-	vm.nextShareIPA = shareIPABase
 	vm.mailbox = nil
 	vm.restarts++
 	vm.state = VMRunning
 	h.stats.Restarts++
 	h.metric("restarts", vm).Inc()
+	h.lifecycle(kind, vm, vm.crashReason)
 	for _, vc := range vm.vcpus {
 		vc.state = VCPURunnable
 		vc.booted = false

@@ -27,6 +27,9 @@ type Stats struct {
 	Quarantines   uint64 // VMs taken out of service after crashing
 	ScrubbedPages uint64 // pages scrubbed during grant revocation and restart
 	BadHypercalls uint64 // guest API misuse answered with a contained crash
+	// SnapshotRestores counts watchdog restarts served from the boot-time
+	// warm stage-2 snapshot instead of a cold table rebuild.
+	SnapshotRestores uint64
 }
 
 // Hypervisor is the EL2 secure partition manager instance for one node.
@@ -52,12 +55,25 @@ type Hypervisor struct {
 	shares      map[uint64]*shareRecord
 	nextShareID uint64
 
+	// ownerVer/ownerStamp version the frame-owner map for snapshot and
+	// restore: every mutation stamps ownerVer from the monotone
+	// ownerStamp, and a restore copies the snapshot's ownerVer with its
+	// content, so equal versions mean equal maps and Restore can skip
+	// rebuilding the (one entry per physical page) map. ownerStamp is
+	// never rewound, which keeps versions unique across forked timelines.
+	ownerVer   uint64
+	ownerStamp uint64
+
 	nsAlloc *mem.Buddy
 	sAlloc  *mem.Buddy
 
 	routing   IRQRouting
 	tlbPolicy TLBPolicy
 	booted    bool
+
+	// onLifecycle, when set, observes crash/restart/quarantine transitions
+	// (see SetLifecycleHook).
+	onLifecycle func(LifecycleEvent)
 
 	stats Stats
 
@@ -197,6 +213,7 @@ func New(node *machine.Node, m *Manifest, monitor *tz.Monitor) (*Hypervisor, err
 			return nil, err
 		}
 	}
+	node.RegisterSnapshotter("hafnium", h)
 	return h, nil
 }
 
@@ -299,6 +316,13 @@ func (h *Hypervisor) Boot() error {
 			if vm.spec.Class != Primary {
 				vc.state = VCPURunnable
 			}
+		}
+		if vm.spec.RestartFromSnapshot {
+			// Warm restart image: freeze the pristine stage-2 table (O(1),
+			// copy-on-write) so the watchdog can rewind to it instead of
+			// rebuilding the table cold.
+			vm.warmS2 = vm.stage2.Snapshot()
+			vm.warmShareIPA = vm.nextShareIPA
 		}
 	}
 	h.booted = true
@@ -835,4 +859,10 @@ func (h *Hypervisor) CPUTime(id VMID) sim.Duration { return h.vmCPU[id] }
 // FrameOwner reports which VM owns a physical page.
 func (h *Hypervisor) FrameOwner(pa mem.PA) VMID {
 	return h.owner[mem.PageAlign(pa)]
+}
+
+// touchOwner stamps the frame-owner map as mutated (see ownerVer).
+func (h *Hypervisor) touchOwner() {
+	h.ownerStamp++
+	h.ownerVer = h.ownerStamp
 }

@@ -1,0 +1,30 @@
+package hafnium
+
+// LifecycleEvent reports one VM lifecycle transition the crash/recovery
+// machinery performed. The attestation layer subscribes to these to
+// append real records — crashes, watchdog restarts, snapshot restores,
+// quarantines — to the node's hash-chained ledger, replacing synthetic
+// heartbeat proposals.
+type LifecycleEvent struct {
+	// Kind is the transition: "crash", "restart", "snapshot-restore" (a
+	// restart served from the boot-time warm snapshot), or "quarantine".
+	Kind string
+	// VM is the partition's manifest name.
+	VM string
+	// Reason is the crash reason the transition stems from.
+	Reason string
+	// Restarts is the VM's restart count after the transition.
+	Restarts int
+}
+
+// SetLifecycleHook installs the subscriber. The hook runs synchronously
+// inside the transition (deterministic event context); it must not call
+// back into the crash machinery. One subscriber; nil uninstalls.
+func (h *Hypervisor) SetLifecycleHook(fn func(LifecycleEvent)) { h.onLifecycle = fn }
+
+// lifecycle fires the hook, if any.
+func (h *Hypervisor) lifecycle(kind string, vm *VM, reason string) {
+	if h.onLifecycle != nil {
+		h.onLifecycle(LifecycleEvent{Kind: kind, VM: vm.spec.Name, Reason: reason, Restarts: vm.restarts})
+	}
+}

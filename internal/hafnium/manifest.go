@@ -30,6 +30,11 @@ type VMSpec struct {
 	// microseconds of simulated time; it doubles per consecutive restart.
 	// 0 selects the default (100µs).
 	RestartBackoffUS int
+	// RestartFromSnapshot makes watchdog restarts rewind the VM's stage-2
+	// table to the warm copy-on-write snapshot captured at boot instead of
+	// rebuilding it cold. RAM is still scrubbed; only the translation
+	// tables come back warm. Requires restart_policy = restart.
+	RestartFromSnapshot bool
 }
 
 // Manifest is the static partition configuration Hafnium consumes during
@@ -68,6 +73,9 @@ func (m *Manifest) Validate() error {
 		}
 		if v.Restart == RestartNever && (v.MaxRestarts != 0 || v.RestartBackoffUS != 0) {
 			return fmt.Errorf("hafnium: VM %q sets restart limits without restart_policy = restart", v.Name)
+		}
+		if v.RestartFromSnapshot && v.Restart != RestartAlways {
+			return fmt.Errorf("hafnium: VM %q sets restart_from_snapshot without restart_policy = restart", v.Name)
 		}
 		switch v.Class {
 		case Primary:
@@ -233,6 +241,12 @@ func ParseManifest(text string) (*Manifest, error) {
 				return nil, fmt.Errorf("hafnium: manifest line %d: restart_backoff_us: %v", ln+1, err)
 			}
 			cur.RestartBackoffUS = n
+		case "restart_from_snapshot":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("hafnium: manifest line %d: restart_from_snapshot: %v", ln+1, err)
+			}
+			cur.RestartFromSnapshot = b
 		default:
 			return nil, fmt.Errorf("hafnium: manifest line %d: unknown VM key %q", ln+1, key)
 		}
@@ -271,6 +285,9 @@ func (m *Manifest) Format() string {
 		}
 		if v.RestartBackoffUS != 0 {
 			fmt.Fprintf(&sb, "restart_backoff_us = %d\n", v.RestartBackoffUS)
+		}
+		if v.RestartFromSnapshot {
+			sb.WriteString("restart_from_snapshot = true\n")
 		}
 	}
 	return sb.String()

@@ -148,6 +148,7 @@ func (h *Hypervisor) ShareMemory(kind ShareKind, from, to VMID, ipa, size uint64
 		for _, pa := range pages {
 			h.owner[pa] = to
 		}
+		h.touchOwner()
 	}
 
 	h.nextShareID++

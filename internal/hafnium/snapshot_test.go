@@ -1,0 +1,141 @@
+package hafnium
+
+import (
+	"fmt"
+	"testing"
+
+	"khsim/internal/sim"
+)
+
+const warmRestartManifest = `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 128
+
+[vm victim]
+class = secondary
+vcpus = 1
+memory_mb = 64
+restart_policy = restart
+max_restarts = 4
+restart_backoff_us = 100
+restart_from_snapshot = true
+`
+
+// TestWarmRestartFromSnapshot crashes a VM whose manifest opts into
+// restart_from_snapshot and checks the watchdog serves the restart from
+// the boot-time warm stage-2 snapshot: the restart happens, the counter
+// and metric tick, the RAM scrub is still charged, and the revived VM's
+// mappings are intact.
+func TestWarmRestartFromSnapshot(t *testing.T) {
+	h, _ := buildTestSystem(t, warmRestartManifest, map[string]GuestOS{
+		"victim": &stubGuest{workChunk: sim.FromMicros(50), chunks: 1000},
+	})
+	victim, _ := h.VMByName("victim")
+	scrubbed := h.Stats().ScrubbedPages
+
+	if err := h.InjectVMFault(victim.ID(), "test warm restart"); err != nil {
+		t.Fatal(err)
+	}
+	h.Node().Engine.RunAll()
+
+	st := h.Stats()
+	if st.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", st.Restarts)
+	}
+	if st.SnapshotRestores != 1 {
+		t.Fatalf("SnapshotRestores = %d, want 1 (restart took the cold path)", st.SnapshotRestores)
+	}
+	if victim.State() != VMRunning {
+		t.Fatalf("victim is %v after warm restart, want running", victim.State())
+	}
+	if st.ScrubbedPages <= scrubbed {
+		t.Fatal("warm restart skipped the RAM scrub")
+	}
+	if err := h.VerifyIsolation(); err != nil {
+		t.Fatalf("isolation broken after warm restart: %v", err)
+	}
+}
+
+// TestColdRestartWithoutOptIn is the control: the same crash without
+// restart_from_snapshot must rebuild the stage-2 cold and leave the
+// warm-restore counter at zero.
+func TestColdRestartWithoutOptIn(t *testing.T) {
+	h, _ := buildTestSystem(t, `
+[vm primary]
+class = primary
+vcpus = 4
+memory_mb = 128
+
+[vm victim]
+class = secondary
+vcpus = 1
+memory_mb = 64
+restart_policy = restart
+max_restarts = 4
+restart_backoff_us = 100
+`, map[string]GuestOS{
+		"victim": &stubGuest{workChunk: sim.FromMicros(50), chunks: 1000},
+	})
+	victim, _ := h.VMByName("victim")
+	if err := h.InjectVMFault(victim.ID(), "test cold restart"); err != nil {
+		t.Fatal(err)
+	}
+	h.Node().Engine.RunAll()
+	st := h.Stats()
+	if st.Restarts != 1 || st.SnapshotRestores != 0 {
+		t.Fatalf("Restarts=%d SnapshotRestores=%d, want 1/0", st.Restarts, st.SnapshotRestores)
+	}
+}
+
+// TestNodeRestoreReplaysCrashIdentically quiesces a booted system, takes
+// a whole-node snapshot, drives a crash-and-restart episode to
+// completion, rewinds, and drives the identical episode again: the
+// hypervisor counters, VM state and trace length must match exactly, and
+// the lifecycle hook must observe the same event sequence both times.
+func TestNodeRestoreReplaysCrashIdentically(t *testing.T) {
+	h, _ := buildTestSystem(t, warmRestartManifest, map[string]GuestOS{
+		"victim": &stubGuest{workChunk: sim.FromMicros(50), chunks: 4},
+	})
+	node := h.Node()
+	victim, _ := h.VMByName("victim")
+	var events []string
+	h.SetLifecycleHook(func(ev LifecycleEvent) {
+		events = append(events, fmt.Sprintf("%s %s r=%d", ev.Kind, ev.VM, ev.Restarts))
+	})
+	node.Engine.RunAll() // quiesce: guest work done, nothing pending
+
+	snap := node.Snapshot()
+	episode := func() (Stats, VMState, int, []string) {
+		events = nil
+		if err := h.InjectVMFault(victim.ID(), "replay probe"); err != nil {
+			t.Fatal(err)
+		}
+		node.Engine.RunAll()
+		return h.Stats(), victim.State(), node.Trace.Len(), append([]string(nil), events...)
+	}
+
+	stats1, vm1, trace1, ev1 := episode()
+	node.Restore(snap)
+	if got := h.Stats(); got.Restarts != 0 || got.Aborts != 0 {
+		t.Fatalf("restore left crash counters set: %+v", got)
+	}
+	stats2, vm2, trace2, ev2 := episode()
+
+	if stats1 != stats2 {
+		t.Fatalf("replayed stats differ:\n  first:  %+v\n  second: %+v", stats1, stats2)
+	}
+	if vm1 != vm2 {
+		t.Fatalf("replayed VM state differs: %v vs %v", vm1, vm2)
+	}
+	if trace1 != trace2 {
+		t.Fatalf("replayed trace length differs: %d vs %d", trace1, trace2)
+	}
+	if fmt.Sprint(ev1) != fmt.Sprint(ev2) {
+		t.Fatalf("replayed lifecycle events differ:\n  first:  %v\n  second: %v", ev1, ev2)
+	}
+	if len(ev1) < 2 {
+		t.Fatalf("episode produced %d lifecycle events, want crash+restart: %v", len(ev1), ev1)
+	}
+}

@@ -87,6 +87,13 @@ type VM struct {
 	watchdog    sim.Event // pending restart, while VMCrashed
 	crashReason string    // why the VM last crashed ("" if never)
 
+	// Warm restart image, captured at Boot for VMs with
+	// restart_from_snapshot: a copy-on-write freeze of the pristine
+	// stage-2 table plus the share-window cursor. Recovery rewinds the
+	// live table to this instead of rebuilding it cold.
+	warmS2       sim.State
+	warmShareIPA uint64
+
 	// Hot-path registry counters, cached at build time.
 	mWorldSwitches *metrics.Counter
 	mSwitchCostPS  *metrics.Counter
@@ -204,6 +211,7 @@ func (h *Hypervisor) buildVM(id VMID, spec VMSpec) (*VM, error) {
 	for p := uint64(0); p < size; p += mem.PageSize {
 		h.owner[pa+mem.PA(p)] = id
 	}
+	h.touchOwner()
 	for i := 0; i < spec.VCPUs; i++ {
 		v.vcpus = append(v.vcpus, newVCPU(v, i))
 	}

@@ -49,6 +49,7 @@ memory_mb = 64
 restart_policy = restart
 max_restarts = 8
 restart_backoff_us = 20000
+restart_from_snapshot = true
 
 # Kill whichever replica leads at 120 ms. The watchdog revives the VM
 # 20 ms later -- far past the election window -- so leadership must move
@@ -267,7 +268,9 @@ func RunClusterManifest(m *cluster.ClusterManifest, seed uint64) (*FailoverRepor
 		// The replica VM spins for longer than the run so crash/restart
 		// cycles always have live work to kill.
 		guest := kitten.NewGuest(kitten.DefaultParams())
-		guest.Attach(0, noise.NewSelfish(fmt.Sprintf("attest%d", i), m.Run*4))
+		spin := noise.NewSelfish(fmt.Sprintf("attest%d", i), m.Run*4)
+		guest.Attach(0, spin)
+		n.Machine.RegisterSnapshotter("proc."+spin.Name(), spin)
 		if err := n.AttachGuest(m.ReplicaVM, guest, 1); err != nil {
 			return nil, fmt.Errorf("harness: node %d: %w", i, err)
 		}
@@ -312,25 +315,50 @@ func RunClusterManifest(m *cluster.ClusterManifest, seed uint64) (*FailoverRepor
 		})
 	}
 
-	// Proposal load: every node feeds attestation payloads into the
-	// protocol on a fixed cadence, stopping before the end of the run so
-	// the tail heartbeats can drain commits and catch-ups.
+	// Proposal load: real attestation evidence, not synthetic counters.
+	// Each node's first proposal carries its measured-boot quote; every
+	// subsequent one re-attests the node-local lifecycle ledger (length,
+	// chain head, replica restart count), so watchdog restarts and
+	// snapshot restores show up in the replicated log as soon as the node
+	// can speak. Proposals stop before the end of the run so the tail
+	// heartbeats can drain commits and catch-ups.
 	stopAt := sim.Time(0).Add(m.Run - m.Run/8)
 	for i := 0; i < m.Nodes; i++ {
-		id, eng := i, engines[i]
-		seq := 0
+		id, eng, n := i, engines[i], stacks[i]
+		booted := false
 		var tick func()
 		tick = func() {
 			if eng.Now() > stopAt {
 				return
 			}
-			seq++
-			svc.Propose(id, []byte(fmt.Sprintf("attest n%d seq=%d", id, seq)))
+			if !booted {
+				booted = true
+				att, err := n.Attestation()
+				if err == nil {
+					svc.Propose(id, []byte(fmt.Sprintf("boot n%d pcr=%x", id, att.PCR[:8])))
+				}
+			} else {
+				head := n.AttestLog.Head()
+				svc.Propose(id, []byte(fmt.Sprintf("attest n%d ledger=%d head=%x restarts=%d",
+					id, n.AttestLog.Len(), head[:8], replicaVMs[id].Restarts())))
+			}
 			eng.AfterNamed(m.ProposeEvery, "failover.propose", tick)
 		}
 		// Stagger the first proposal per node so cadences interleave.
 		first := m.ProposeEvery + sim.Duration(id)*(m.ProposeEvery/sim.Duration(m.Nodes))
 		eng.ScheduleNamed(sim.Time(0).Add(first), "failover.propose", tick)
+		// Lifecycle transitions (crash, restart, snapshot-restore,
+		// quarantine) propose themselves the moment they land in the
+		// node-local ledger. A crash proposal usually drops — the replica
+		// VM just died, so the node cannot speak — and the restart record
+		// that follows is the evidence that survives.
+		n.OnLifecycle = func(ev hafnium.LifecycleEvent) {
+			if eng.Now() > stopAt {
+				return
+			}
+			svc.Propose(id, []byte(fmt.Sprintf("lifecycle n%d %s vm=%s restarts=%d",
+				id, ev.Kind, ev.VM, ev.Restarts)))
+		}
 	}
 
 	// Fault campaign. Static node targets go through the injector (the

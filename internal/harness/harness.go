@@ -79,6 +79,15 @@ func ParseConfig(name string) (Config, bool) {
 	return 0, false
 }
 
+// registerProc adds a benchmark process to the node's composite
+// snapshot when it can be snapshotted, so node forks rewind its result
+// buffers along with the kernel that schedules it.
+func registerProc(node *machine.Node, proc osapi.Process) {
+	if s, ok := proc.(sim.Snapshotter); ok {
+		node.RegisterSnapshotter("proc."+proc.Name(), s)
+	}
+}
+
 // runProcess executes proc to completion in the given configuration and
 // reports an error if it does not finish within horizon.
 func runProcess(cfg Config, seed uint64, proc osapi.Process, finished func() bool, horizon sim.Duration) error {
@@ -106,6 +115,7 @@ func runProcessNodeOpt(cfg Config, seed uint64, proc osapi.Process, finished fun
 		if spans {
 			node.Trace.SetSpans(true)
 		}
+		registerProc(node, proc)
 		if _, err := n.Kernel.Spawn(proc.Name(), 0, proc); err != nil {
 			return nil, err
 		}
@@ -129,6 +139,7 @@ func runProcessNodeOpt(cfg Config, seed uint64, proc osapi.Process, finished fun
 		}
 		guest := kitten.NewGuest(kitten.DefaultParams())
 		guest.Attach(0, proc)
+		registerProc(node, proc)
 		if err := n.AttachGuest("job", guest); err != nil {
 			return nil, err
 		}
@@ -156,6 +167,7 @@ func RunCustom(opts core.Options, jobVM string, guestParams kitten.Params, proc 
 	}
 	guest := kitten.NewGuest(guestParams)
 	guest.Attach(0, proc)
+	registerProc(n.Machine, proc)
 	if err := n.AttachGuest(jobVM, guest); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"testing"
+
+	"khsim/internal/sim"
+)
+
+// TestSnapshotCheckHoldsContract runs the full-stack fork-determinism
+// experiment and requires every clause of the contract: restored and
+// forked timelines bit-identical to the uninterrupted run, and the
+// fault-injected fork diverging through the warm-restore path.
+func TestSnapshotCheckHoldsContract(t *testing.T) {
+	rep, err := RunSnapshotCheck(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Forks != 3 {
+		t.Fatalf("ran %d forked timelines, want 3", rep.Forks)
+	}
+	if rep.EndAt <= rep.SnapAt {
+		t.Fatalf("comparison point %v not after snapshot point %v", rep.EndAt, rep.SnapAt)
+	}
+}
+
+// TestSnapshotCheckArtifactDeterministic pins the obscheck gate's
+// assumption: two same-seed experiment runs in fresh stacks render
+// byte-identical artifacts, and a different seed does not.
+func TestSnapshotCheckArtifactDeterministic(t *testing.T) {
+	a, err := RunSnapshotCheck(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSnapshotCheck(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Artifact() != b.Artifact() {
+		t.Fatal("same-seed snapshot-check artifacts differ across runs")
+	}
+	c, err := RunSnapshotCheck(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Artifact() == c.Artifact() {
+		t.Fatal("different seeds produced identical artifacts")
+	}
+}
+
+// TestForkSweepCells runs the fork-based sweep over a fault-delay axis
+// and checks cell semantics: the control cell sees no crash, every kill
+// cell sees exactly one crash served by a warm restore, and identical
+// delays land in identical cells (the fork isolation property).
+func TestForkSweepCells(t *testing.T) {
+	kills := []sim.Duration{
+		-1,
+		1 * sim.Millisecond,
+		3 * sim.Millisecond,
+		1 * sim.Millisecond, // repeat of cell 1: forks must not leak state
+	}
+	rep, err := RunForkSweep(7, kills, 8*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != len(kills) {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), len(kills))
+	}
+	if rep.Forks != uint64(len(kills)) {
+		t.Fatalf("forked %d timelines, want %d", rep.Forks, len(kills))
+	}
+	ctrl := rep.Cells[0]
+	if ctrl.Crashes != 0 || ctrl.Restarts != 0 || ctrl.WarmRest != 0 {
+		t.Fatalf("control cell saw faults: %+v", ctrl)
+	}
+	if ctrl.Fired == 0 {
+		t.Fatal("control cell fired no events")
+	}
+	for i, c := range rep.Cells[1:] {
+		if c.Crashes != 1 || c.Restarts != 1 || c.WarmRest != 1 {
+			t.Fatalf("kill cell %d: %+v, want one crash, one warm restart", i+1, c)
+		}
+	}
+	if rep.Cells[1] != rep.Cells[3] {
+		t.Fatalf("identical delays produced different cells:\n  %+v\n  %+v", rep.Cells[1], rep.Cells[3])
+	}
+	if rep.Cells[1].Fired == rep.Cells[2].Fired && rep.Cells[1] == rep.Cells[2] {
+		t.Fatal("different delays produced identical cells (injection time had no effect)")
+	}
+}
+
+// TestForkSweepValidation pins the argument checks.
+func TestForkSweepValidation(t *testing.T) {
+	if _, err := RunForkSweep(1, []sim.Duration{0}, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := RunForkSweep(1, []sim.Duration{9 * sim.Millisecond}, 8*sim.Millisecond); err == nil {
+		t.Fatal("kill delay outside the window accepted")
+	}
+}

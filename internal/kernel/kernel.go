@@ -112,6 +112,10 @@ type Kernel struct {
 	vcTask  map[*hafnium.VCPU]*Task
 	started bool
 
+	// tasks is every task ever created, in creation order — the stable
+	// enumeration snapshots record task state against.
+	tasks []*Task
+
 	labelIRQ string // cfg.Label + ".irq", built once (IRQ hot path)
 	labelFwd string // cfg.Label + ".fwd", built once (IRQ hot path)
 
@@ -163,6 +167,7 @@ func newKernel(node *machine.Node, h *hafnium.Hypervisor, pol Policy, cfg Config
 	k.mCommands = mx.Counter(metrics.K("kernel", "commands"))
 	k.mBadCommands = mx.Counter(metrics.K("kernel", "bad_commands"))
 	pol.Attach(k)
+	node.RegisterSnapshotter("kernel."+cfg.Label, k)
 	return k
 }
 
@@ -210,6 +215,7 @@ func (k *Kernel) Kthreads() []*Task { return k.kthreads }
 func (k *Kernel) newTask(name string, core int) *Task {
 	t := &Task{name: name, core: core, state: TaskReady}
 	t.ent = Entity{Name: name, Weight: DefaultWeight, owner: t}
+	k.tasks = append(k.tasks, t)
 	return t
 }
 

@@ -1,6 +1,8 @@
 package linuxos
 
 import (
+	"fmt"
+
 	"khsim/internal/kernel"
 	"khsim/internal/sim"
 )
@@ -15,7 +17,8 @@ import (
 // no process idle instead of parking (the login VM waits for work).
 type Guest struct {
 	*kernel.Guest
-	p Params
+	p     Params
+	noise *guestNoise
 }
 
 // guestWork is one deferred kthread population inside the guest.
@@ -75,9 +78,38 @@ func NewGuest(p Params, seed uint64) *Guest {
 			BootWork:   n.bootWork,
 			TickWork:   n.tickWork,
 		}),
-		p: p,
+		p:     p,
+		noise: n,
 	}
 }
 
 // Params returns the guest kernel's configuration.
 func (g *Guest) Params() Params { return g.p }
+
+// guestSnap pairs the substrate's state with the deferred-work schedule.
+type guestSnap struct {
+	base sim.State
+	rng  [4]uint64
+	work []guestWork
+}
+
+// Snapshot captures the guest substrate plus the noise schedule and its
+// RNG stream. Guest implements sim.Snapshotter.
+func (g *Guest) Snapshot() sim.State {
+	return &guestSnap{
+		base: g.Guest.Snapshot(),
+		rng:  g.noise.rng.State(),
+		work: append([]guestWork(nil), g.noise.work...),
+	}
+}
+
+// Restore reinstalls a snapshot taken on this guest.
+func (g *Guest) Restore(st sim.State) {
+	s, ok := st.(*guestSnap)
+	if !ok {
+		panic(fmt.Sprintf("linuxos: Guest.Restore of foreign state %T", st))
+	}
+	g.Guest.Restore(s.base)
+	g.noise.rng.SetState(s.rng)
+	g.noise.work = append(g.noise.work[:0], s.work...)
+}

@@ -58,6 +58,12 @@ type Node struct {
 	Metrics *metrics.Registry
 
 	cfg Config
+
+	// snaps are the software components participating in node snapshots,
+	// in registration order (see RegisterSnapshotter).
+	snaps []namedSnapshotter
+	// forkGen counts timelines run from snapshots of this node.
+	forkGen uint64
 }
 
 // DRAMBase is where DRAM starts in the node's physical map (matches the

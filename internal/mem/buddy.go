@@ -16,6 +16,21 @@ type Buddy struct {
 	free     []map[PA]struct{} // free[k] = set of free block bases of order k
 	alloc    map[PA]uint       // allocated block base -> order
 	freePgs  uint64
+
+	// ver identifies the allocator's current state for snapshot/restore:
+	// every mutation stamps it from the monotone counter, and a restore
+	// copies the snapshot's ver alongside its content, so equal vers
+	// always mean equal state and Restore can skip the map rebuild. The
+	// stamp itself is never rewound — that keeps vers globally unique
+	// across forked timelines.
+	ver   uint64
+	stamp uint64
+}
+
+// touch stamps the allocator as mutated.
+func (b *Buddy) touch() {
+	b.stamp++
+	b.ver = b.stamp
 }
 
 // NewBuddy builds an allocator over [base, base+size). base must be page
@@ -110,6 +125,7 @@ func (b *Buddy) AllocPages(n uint64) (PA, error) {
 	}
 	b.alloc[blk] = order
 	b.freePgs -= uint64(1) << order
+	b.touch()
 	return blk, nil
 }
 
@@ -156,6 +172,7 @@ func (b *Buddy) Free(a PA) error {
 		order++
 	}
 	b.free[order][a] = struct{}{}
+	b.touch()
 	return nil
 }
 

@@ -1,0 +1,67 @@
+package mem
+
+import (
+	"fmt"
+
+	"khsim/internal/sim"
+)
+
+// buddyState is Buddy's Snapshot payload: deep copies of the free lists
+// and the allocation map.
+type buddyState struct {
+	free    []map[PA]struct{}
+	alloc   map[PA]uint
+	freePgs uint64
+	ver     uint64
+}
+
+// Snapshot deep-copies the allocator state. Buddy implements
+// sim.Snapshotter: node snapshots capture it so a restored node's
+// allocation pattern (and therefore every later AllocPages address)
+// replays identically.
+func (b *Buddy) Snapshot() sim.State {
+	s := &buddyState{
+		free:    make([]map[PA]struct{}, len(b.free)),
+		alloc:   make(map[PA]uint, len(b.alloc)),
+		freePgs: b.freePgs,
+		ver:     b.ver,
+	}
+	for i, set := range b.free {
+		cp := make(map[PA]struct{}, len(set))
+		for a := range set {
+			cp[a] = struct{}{}
+		}
+		s.free[i] = cp
+	}
+	for a, o := range b.alloc {
+		s.alloc[a] = o
+	}
+	return s
+}
+
+// Restore reinstalls a snapshot taken on this allocator. Equal version
+// stamps mean the allocator never mutated since the capture (or was
+// already restored to it), so the map rebuild is skipped — that makes
+// restoring an idle allocator O(1), which the fork benchmark relies on.
+func (b *Buddy) Restore(st sim.State) {
+	s, ok := st.(*buddyState)
+	if !ok {
+		panic(fmt.Sprintf("mem: Buddy.Restore of foreign state %T", st))
+	}
+	if b.ver == s.ver {
+		return
+	}
+	for i, set := range s.free {
+		cp := make(map[PA]struct{}, len(set))
+		for a := range set {
+			cp[a] = struct{}{}
+		}
+		b.free[i] = cp
+	}
+	b.alloc = make(map[PA]uint, len(s.alloc))
+	for a, o := range s.alloc {
+		b.alloc[a] = o
+	}
+	b.freePgs = s.freePgs
+	b.ver = s.ver
+}

@@ -1,0 +1,66 @@
+package metrics
+
+// Restore rewinds the registry to a snapshot previously taken from it.
+//
+// Instruments are never recreated: callers cache *Counter/*Gauge/
+// *Histogram pointers at construction, so Restore writes the recorded
+// values back into the live instruments in place. Series that were
+// registered after the snapshot was taken (and therefore have no point
+// in it) are zeroed rather than deleted — their cached pointers stay
+// valid and simply read as never-touched, which is exactly the state a
+// fresh run would see at the snapshot instant. The shared sink
+// instruments are left alone: their values are never published, so they
+// cannot affect snapshot byte-identity.
+//
+// Restore participates in node-level snapshot/fork (DESIGN.md §11); it
+// is not meant as a general-purpose reset.
+func (r *Registry) Restore(s *Snapshot) {
+	inSnap := make(map[Key]bool, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for _, p := range s.Counters {
+		inSnap[p.Key] = true
+		c, ok := r.counters[p.Key]
+		if !ok {
+			c = &Counter{}
+			r.counters[p.Key] = c
+		}
+		c.v = p.Value
+	}
+	for _, p := range s.Gauges {
+		inSnap[p.Key] = true
+		g, ok := r.gauges[p.Key]
+		if !ok {
+			g = &Gauge{}
+			r.gauges[p.Key] = g
+		}
+		g.v = p.Value
+	}
+	for _, p := range s.Histograms {
+		inSnap[p.Key] = true
+		h, ok := r.hists[p.Key]
+		if !ok {
+			h = newHistogram(p.Lo, p.Hi, len(p.Buckets))
+			r.hists[p.Key] = h
+		}
+		copy(h.buckets, p.Buckets)
+		h.under, h.over, h.observed = p.Under, p.Over, p.Observed
+	}
+	for k, c := range r.counters {
+		if !inSnap[k] {
+			c.v = 0
+		}
+	}
+	for k, g := range r.gauges {
+		if !inSnap[k] {
+			g.v = 0
+		}
+	}
+	for k, h := range r.hists {
+		if !inSnap[k] {
+			for i := range h.buckets {
+				h.buckets[i] = 0
+			}
+			h.under, h.over, h.observed = 0, 0, 0
+		}
+	}
+	r.dropped = s.DroppedSeries
+}

@@ -75,6 +75,29 @@ type entry struct {
 type node struct {
 	entries [1 << LevelBits]entry
 	live    int // number of non-invalid entries, for free-on-empty
+	// frozen marks a node owned by a snapshot: it is shared copy-on-write
+	// and must never be written through a live table. Mutators unfreeze
+	// their path from the root down (see unfreeze), so a fork costs one
+	// node copy per distinct table page dirtied after the snapshot.
+	frozen bool
+}
+
+// unfreeze returns a node safe to write through t's root path: n itself
+// when it is privately owned, or a copy when n is frozen (shared with a
+// snapshot). The copy's table children become frozen — they are now
+// reachable from two trees — which is what makes the sharing transitive
+// without an O(subtree) freeze at snapshot time.
+func unfreeze(n *node) *node {
+	if !n.frozen {
+		return n
+	}
+	c := &node{entries: n.entries, live: n.live}
+	for i := range c.entries {
+		if c.entries[i].kind == entryTable {
+			c.entries[i].next.frozen = true
+		}
+	}
+	return c
 }
 
 // Table is one translation regime (a stage-1 or stage-2 table).
@@ -170,6 +193,7 @@ func (t *Table) Map(in, out, size uint64, perm Perms) error {
 }
 
 func (t *Table) mapLeaf(in, out uint64, perm Perms, leafLevel int) error {
+	t.root = unfreeze(t.root)
 	n := t.root
 	for level := 0; level < leafLevel; level++ {
 		idx := levelIndex(in, level)
@@ -182,6 +206,7 @@ func (t *Table) mapLeaf(in, out uint64, perm Perms, leafLevel int) error {
 			t.nodes++
 			n = child
 		case entryTable:
+			e.next = unfreeze(e.next)
 			n = e.next
 		case entryLeaf:
 			return fmt.Errorf("mmu: %#x covered by a level-%d block", in, level)
@@ -235,12 +260,14 @@ func (t *Table) Unmap(in, size uint64) error {
 // splitBlock replaces the 2 MiB block covering addr with a level-3 table
 // of 512 page descriptors carrying the same translation and permissions.
 func (t *Table) splitBlock(addr uint64) {
+	t.root = unfreeze(t.root)
 	n := t.root
 	for l := 0; l < 2; l++ {
 		e := &n.entries[levelIndex(addr, l)]
 		if e.kind != entryTable {
 			panic(fmt.Sprintf("mmu: splitBlock(%#x): no block at level 2", addr))
 		}
+		e.next = unfreeze(e.next)
 		n = e.next
 	}
 	e := &n.entries[levelIndex(addr, 2)]
@@ -260,6 +287,7 @@ func (t *Table) splitBlock(addr uint64) {
 // It returns the size of the removed leaf.
 func (t *Table) unmapLeaf(addr uint64) uint64 {
 	var path [Levels]*node
+	t.root = unfreeze(t.root)
 	n := t.root
 	level := 0
 	for {
@@ -282,6 +310,7 @@ func (t *Table) unmapLeaf(addr uint64) uint64 {
 			}
 			return size
 		}
+		e.next = unfreeze(e.next)
 		n = e.next
 		level++
 	}
@@ -369,6 +398,7 @@ func (t *Table) Protect(in, size uint64, perm Perms) error {
 }
 
 func (t *Table) protectLeaf(addr uint64, perm Perms) uint64 {
+	t.root = unfreeze(t.root)
 	n := t.root
 	for l := 0; l < Levels; l++ {
 		e := &n.entries[levelIndex(addr, l)]
@@ -379,6 +409,7 @@ func (t *Table) protectLeaf(addr uint64, perm Perms) uint64 {
 			}
 			return GranuleSize
 		}
+		e.next = unfreeze(e.next)
 		n = e.next
 	}
 	panic("mmu: protect walked off the table")

@@ -1,0 +1,71 @@
+package mmu
+
+import "testing"
+
+// TestWalkCacheInvalidatedOnRestore is the stale-translation regression
+// test for Table.Restore: map, snapshot, remap, restore, remap again,
+// and require every cached translation to match a cache-free walk.
+//
+// The trap it pins down is generation ABA: the cache validates entries
+// with an equality check against Table.Gen. If Restore rolled the
+// generation back to the snapshot's value, a later mutation could land
+// on a generation number the cache already observed on the abandoned
+// timeline, and the equality check would accept a stale entry. Restore
+// therefore always advances the generation.
+func TestWalkCacheInvalidatedOnRestore(t *testing.T) {
+	tab := NewTable("s2")
+	wc := NewWalkCache(tab, 64)
+
+	// Map and warm the cache through the mapping.
+	snap := tab.Snapshot() // gen at snapshot: 0
+	if err := tab.Map(0x1000, 0xa000, 0x1000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if out, _, _, ok := wc.Translate(0x1000); !ok || out != 0xa000 {
+		t.Fatalf("warm walk: ok=%v out=%#x", ok, out)
+	}
+	// The cache is now synced at generation 1 with 0x1000→0xa000 cached.
+
+	// Restore to the empty snapshot, then remap the same page elsewhere.
+	// With a rolled-back generation this remap would reach generation 1
+	// again — numerically equal to what the cache recorded — and the
+	// stale 0xa000 entry would be served for the page now mapped 0xb000.
+	tab.Restore(snap)
+	if err := tab.Map(0x1000, 0xb000, 0x1000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+
+	cOut, cPerm, cLvl, cOK := wc.Translate(0x1000)
+	wOut, wPerm, wLvl, wOK := tab.Translate(0x1000)
+	if cOK != wOK || cOut != wOut || cPerm != wPerm || cLvl != wLvl {
+		t.Fatalf("stale translation served from cache: cached=(%#x,%v,%d,%v) walk=(%#x,%v,%d,%v)",
+			cOut, cPerm, cLvl, cOK, wOut, wPerm, wLvl, wOK)
+	}
+	if cOut != 0xb000 {
+		t.Fatalf("translation is %#x, want the post-restore mapping 0xb000", cOut)
+	}
+
+	// The explicit Restore path must flush as well, independent of the
+	// generation check.
+	wcSnap := wc.Snapshot()
+	if _, _, _, ok := wc.Translate(0x1000); !ok {
+		t.Fatal("rewarm failed")
+	}
+	wc.Restore(wcSnap)
+	unmapAndRemap(t, tab)
+	out, _, _, ok := wc.Translate(0x1000)
+	wantOut, _, _, wantOK := tab.Translate(0x1000)
+	if ok != wantOK || out != wantOut {
+		t.Fatalf("cache/walk disagree after WalkCache.Restore: (%#x,%v) vs (%#x,%v)", out, ok, wantOut, wantOK)
+	}
+}
+
+func unmapAndRemap(t *testing.T, tab *Table) {
+	t.Helper()
+	if err := tab.Unmap(0x1000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Map(0x1000, 0xc000, 0x1000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,12 @@ type FTQ struct {
 	// WorkDone[i] is the fraction of window i spent doing work.
 	WorkDone []float64
 	Finished bool
+
+	// Per-window progress lives on the struct (not as Main-locals captured
+	// by the window closure) so a node snapshot can capture and restore a
+	// run mid-window.
+	win      int
+	winStart sim.Time
 }
 
 // NewFTQ builds an FTQ run with paper-typical geometry (10ms windows).
@@ -33,33 +39,31 @@ func (f *FTQ) Name() string { return "ftq" }
 // Main implements osapi.Process.
 func (f *FTQ) Main(x osapi.Executor) {
 	f.WorkDone = make([]float64, 0, f.Windows)
-	var runWindow func(i int)
-	runWindow = func(i int) {
-		if i >= f.Windows {
+	f.win = 0
+	// One activity serves every window: a window always completes before
+	// the next Run, so reusing it keeps the loop allocation-free.
+	act := &machine.Activity{Label: "ftq.window"}
+	var runWindow func()
+	runWindow = func() {
+		if f.win >= f.Windows {
 			f.Finished = true
 			x.Done()
 			return
 		}
-		start := x.Now()
-		var stolen sim.Duration
-		x.Run(&machine.Activity{
-			Label:     "ftq.window",
-			Remaining: f.Window,
-			OnResume: func(at sim.Time, st sim.Duration) {
-				stolen += st
-			},
-			OnComplete: func() {
-				elapsed := x.Now().Sub(start)
-				if elapsed <= 0 {
-					elapsed = f.Window
-				}
-				f.WorkDone = append(f.WorkDone, float64(f.Window)/float64(elapsed))
-				_ = stolen
-				runWindow(i + 1)
-			},
-		})
+		f.winStart = x.Now()
+		act.Remaining = f.Window
+		x.Run(act)
 	}
-	runWindow(0)
+	act.OnComplete = func() {
+		elapsed := x.Now().Sub(f.winStart)
+		if elapsed <= 0 {
+			elapsed = f.Window
+		}
+		f.WorkDone = append(f.WorkDone, float64(f.Window)/float64(elapsed))
+		f.win++
+		runWindow()
+	}
+	runWindow()
 }
 
 // Sample returns the per-window work fractions as a stats sample.

@@ -106,6 +106,10 @@ type Selfish struct {
 	preemptAt sim.Time
 	started   bool
 	startAt   sim.Time
+	// remaining is the spin work not yet executed. It lives on the struct
+	// (not as a Main-local captured by the chunk closure) so a node
+	// snapshot can capture and restore mid-run progress.
+	remaining sim.Duration
 }
 
 // NewSelfish returns a selfish-detour benchmark with the paper-style
@@ -129,7 +133,7 @@ func (s *Selfish) Main(x osapi.Executor) {
 	if chunk <= 0 {
 		chunk = s.RunTime
 	}
-	remaining := s.RunTime
+	s.remaining = s.RunTime
 	// One activity serves every chunk: a chunk always completes before the
 	// next Run, so reusing it keeps the spin loop allocation-free.
 	spin := &machine.Activity{
@@ -148,8 +152,8 @@ func (s *Selfish) Main(x osapi.Executor) {
 	var runChunk func()
 	runChunk = func() {
 		d := chunk
-		if d > remaining {
-			d = remaining
+		if d > s.remaining {
+			d = s.remaining
 		}
 		if d <= 0 {
 			s.Result.Finished = true
@@ -157,7 +161,7 @@ func (s *Selfish) Main(x osapi.Executor) {
 			x.Done()
 			return
 		}
-		remaining -= d
+		s.remaining -= d
 		spin.Remaining = d
 		x.Run(spin)
 	}

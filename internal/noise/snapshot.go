@@ -1,0 +1,78 @@
+package noise
+
+import (
+	"fmt"
+
+	"khsim/internal/sim"
+)
+
+// selfishState is Selfish's Snapshot payload: run progress plus the
+// accumulated result so far.
+type selfishState struct {
+	result    SelfishResult
+	preemptAt sim.Time
+	started   bool
+	startAt   sim.Time
+	remaining sim.Duration
+}
+
+// Snapshot captures mid-run benchmark progress. Selfish implements
+// sim.Snapshotter: the spin Activity itself is captured by the machine
+// core/kernel snapshots (they hold its pointer), while this records the
+// process-level chunk accounting and the detour log.
+func (s *Selfish) Snapshot() sim.State {
+	st := &selfishState{
+		result:    s.Result,
+		preemptAt: s.preemptAt,
+		started:   s.started,
+		startAt:   s.startAt,
+		remaining: s.remaining,
+	}
+	st.result.Detours = append([]Detour(nil), s.Result.Detours...)
+	return st
+}
+
+// Restore reinstalls a snapshot taken on this benchmark.
+func (s *Selfish) Restore(st sim.State) {
+	v, ok := st.(*selfishState)
+	if !ok {
+		panic(fmt.Sprintf("noise: Selfish.Restore of foreign state %T", st))
+	}
+	s.Result = v.result
+	s.Result.Detours = append([]Detour(nil), v.result.Detours...)
+	s.preemptAt = v.preemptAt
+	s.started = v.started
+	s.startAt = v.startAt
+	s.remaining = v.remaining
+}
+
+// ftqState is FTQ's Snapshot payload.
+type ftqState struct {
+	workDone []float64
+	finished bool
+	win      int
+	winStart sim.Time
+}
+
+// Snapshot captures mid-run FTQ progress. FTQ implements
+// sim.Snapshotter.
+func (f *FTQ) Snapshot() sim.State {
+	return &ftqState{
+		workDone: append([]float64(nil), f.WorkDone...),
+		finished: f.Finished,
+		win:      f.win,
+		winStart: f.winStart,
+	}
+}
+
+// Restore reinstalls a snapshot taken on this benchmark.
+func (f *FTQ) Restore(st sim.State) {
+	s, ok := st.(*ftqState)
+	if !ok {
+		panic(fmt.Sprintf("noise: FTQ.Restore of foreign state %T", st))
+	}
+	f.WorkDone = append(f.WorkDone[:0], s.workDone...)
+	f.Finished = s.finished
+	f.win = s.win
+	f.winStart = s.winStart
+}

@@ -1,0 +1,71 @@
+package shmring
+
+import (
+	"fmt"
+
+	"khsim/internal/sim"
+)
+
+// ringState is Ring's Snapshot payload: the modeled shared-region
+// contents plus every cursor of the SPSC protocol.
+type ringState struct {
+	buf       [][]byte
+	head      int
+	tail      int
+	used      int
+	ready     int
+	committed []bool
+	pub       int
+	popping   int
+	wantBell  int
+	draining  bool
+	stats     Stats
+}
+
+// Snapshot deep-copies the ring's contents and cursors. Ring implements
+// sim.Snapshotter: in-flight Push/Pop copies are engine events whose
+// completion closures re-read this state, so a node snapshot taken
+// between events captures a consistent ring — the engine snapshot holds
+// the completions, this snapshot holds the indices they will observe.
+func (r *Ring) Snapshot() sim.State {
+	s := &ringState{
+		buf:       make([][]byte, len(r.buf)),
+		head:      r.head,
+		tail:      r.tail,
+		used:      r.used,
+		ready:     r.ready,
+		committed: append([]bool(nil), r.committed...),
+		pub:       r.pub,
+		popping:   r.popping,
+		wantBell:  r.wantBell,
+		draining:  r.draining,
+		stats:     r.stats,
+	}
+	for i, b := range r.buf {
+		if b != nil {
+			s.buf[i] = append([]byte(nil), b...)
+		}
+	}
+	return s
+}
+
+// Restore reinstalls a snapshot taken on this ring.
+func (r *Ring) Restore(st sim.State) {
+	s, ok := st.(*ringState)
+	if !ok {
+		panic(fmt.Sprintf("shmring: Ring.Restore of foreign state %T", st))
+	}
+	for i, b := range s.buf {
+		if b == nil {
+			r.buf[i] = nil
+		} else {
+			r.buf[i] = append([]byte(nil), b...)
+		}
+	}
+	r.head, r.tail = s.head, s.tail
+	r.used, r.ready = s.used, s.ready
+	copy(r.committed, s.committed)
+	r.pub, r.popping, r.wantBell = s.pub, s.popping, s.wantBell
+	r.draining = s.draining
+	r.stats = s.stats
+}

@@ -1,0 +1,42 @@
+package timer
+
+import (
+	"fmt"
+
+	"khsim/internal/sim"
+)
+
+// coreTimersState records one core's channel state.
+type coreTimersState struct {
+	pending [numChannels]sim.Event
+	fired   [numChannels]uint64
+}
+
+// bankState is Bank's Snapshot payload.
+type bankState struct {
+	cores []coreTimersState
+}
+
+// Snapshot captures every core's armed deadlines (as Event handles —
+// valid again after the engine's own Restore revalidates them) and fired
+// counters. Bank implements sim.Snapshotter; restore it after the
+// engine.
+func (b *Bank) Snapshot() sim.State {
+	s := &bankState{cores: make([]coreTimersState, len(b.timers))}
+	for i, t := range b.timers {
+		s.cores[i] = coreTimersState{pending: t.pending, fired: t.fired}
+	}
+	return s
+}
+
+// Restore reinstalls a snapshot taken on this bank.
+func (b *Bank) Restore(st sim.State) {
+	s, ok := st.(*bankState)
+	if !ok {
+		panic(fmt.Sprintf("timer: Bank.Restore of foreign state %T", st))
+	}
+	for i, t := range b.timers {
+		t.pending = s.cores[i].pending
+		t.fired = s.cores[i].fired
+	}
+}

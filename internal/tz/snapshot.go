@@ -1,0 +1,64 @@
+package tz
+
+import (
+	"fmt"
+
+	"khsim/internal/mem"
+	"khsim/internal/sim"
+)
+
+// monitorState is Monitor's Snapshot payload.
+type monitorState struct {
+	secure      []mem.Region
+	coreWorld   []World
+	frozen      bool
+	switchCount uint64
+}
+
+// Snapshot copies the EL3 state: the secure carve-outs, each core's
+// current world, the boot-freeze flag and the world-switch counter.
+// Monitor implements sim.Snapshotter. The physical map and the dynamic
+// capability are construction-time topology and are not captured.
+func (m *Monitor) Snapshot() sim.State {
+	return &monitorState{
+		secure:      append([]mem.Region(nil), m.secure...),
+		coreWorld:   append([]World(nil), m.coreWorld...),
+		frozen:      m.frozen,
+		switchCount: m.SwitchCount,
+	}
+}
+
+// Restore reinstalls a snapshot taken on this monitor.
+func (m *Monitor) Restore(st sim.State) {
+	s, ok := st.(*monitorState)
+	if !ok {
+		panic(fmt.Sprintf("tz: Monitor.Restore of foreign state %T", st))
+	}
+	m.secure = append(m.secure[:0], s.secure...)
+	copy(m.coreWorld, s.coreWorld)
+	m.frozen = s.frozen
+	m.SwitchCount = s.switchCount
+}
+
+// attestLogState is AttestLog's Snapshot payload: the chain length plus
+// a copy of the records, so a log that was truncated (conflict
+// resolution) and regrown on the abandoned timeline restores exactly.
+type attestLogState struct {
+	recs []AttestRecord
+}
+
+// Snapshot copies the chain. Record payloads are treated as immutable
+// after append (every producer passes a fresh slice), so the copy is
+// shallow per record. AttestLog implements sim.Snapshotter.
+func (l *AttestLog) Snapshot() sim.State {
+	return &attestLogState{recs: append([]AttestRecord(nil), l.recs...)}
+}
+
+// Restore reinstalls a snapshot taken on this log.
+func (l *AttestLog) Restore(st sim.State) {
+	s, ok := st.(*attestLogState)
+	if !ok {
+		panic(fmt.Sprintf("tz: AttestLog.Restore of foreign state %T", st))
+	}
+	l.recs = append(l.recs[:0], s.recs...)
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"fmt"
+
+	"khsim/internal/sim"
+)
+
+// runState is Run's Snapshot payload.
+type runState struct {
+	result  Result
+	startAt sim.Time
+	left    float64
+	rate    float64
+}
+
+// Snapshot captures mid-trial progress: ops left, the jittered rate
+// drawn at trial start, and the result accumulated so far. Run
+// implements sim.Snapshotter; the phase Activity is captured by the
+// machine core/kernel snapshots that hold its pointer.
+func (r *Run) Snapshot() sim.State {
+	return &runState{result: r.Result, startAt: r.startAt, left: r.left, rate: r.rate}
+}
+
+// Restore reinstalls a snapshot taken on this run.
+func (r *Run) Restore(st sim.State) {
+	s, ok := st.(*runState)
+	if !ok {
+		panic(fmt.Sprintf("workload: Run.Restore of foreign state %T", st))
+	}
+	r.Result = s.result
+	r.startAt = s.startAt
+	r.left = s.left
+	r.rate = s.rate
+}

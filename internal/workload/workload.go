@@ -83,6 +83,12 @@ type Run struct {
 
 	Result  Result
 	startAt sim.Time
+	// left and rate live on the struct (not as Main-locals captured by the
+	// phase closure) so a node snapshot can capture and restore mid-run
+	// progress; rate in particular is drawn from the jitter RNG once per
+	// trial and must survive a restore without a redraw.
+	left float64
+	rate float64
 }
 
 // New builds a runnable workload.
@@ -113,11 +119,11 @@ func (r *Run) effectiveRate() float64 {
 func (r *Run) Main(x osapi.Executor) {
 	r.startAt = x.Now()
 	r.Result = Result{Name: r.Spec.Name, Units: r.Spec.Units}
-	rate := r.effectiveRate()
-	left := r.Spec.TotalOps
+	r.rate = r.effectiveRate()
+	r.left = r.Spec.TotalOps
 	phase := r.Spec.PhaseOps
-	if phase <= 0 || phase > left {
-		phase = left
+	if phase <= 0 || phase > r.left {
+		phase = r.left
 	}
 	amp := r.Spec.NoiseAmp
 	if amp < 1 {
@@ -138,7 +144,7 @@ func (r *Run) Main(x osapi.Executor) {
 	}
 	var runPhase func()
 	runPhase = func() {
-		if left <= 0 {
+		if r.left <= 0 {
 			r.Result.Elapsed = x.Now().Sub(r.startAt)
 			r.Result.Finished = true
 			if s := r.Result.Elapsed.Seconds(); s > 0 {
@@ -148,11 +154,11 @@ func (r *Run) Main(x osapi.Executor) {
 			return
 		}
 		ops := phase
-		if ops > left {
-			ops = left
+		if ops > r.left {
+			ops = r.left
 		}
-		left -= ops
-		a.Remaining = sim.FromSeconds(ops / rate)
+		r.left -= ops
+		a.Remaining = sim.FromSeconds(ops / r.rate)
 		x.Run(a)
 	}
 	a.OnComplete = runPhase
