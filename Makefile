@@ -33,7 +33,10 @@ lint:
 # artifact across two same-seed runs, and the snapshot/fork contract
 # must hold: forked timelines replay bit-identically (khsim snapshot
 # -check), with the experiment artifact itself byte-identical across
-# two same-seed processes.
+# two same-seed processes. The live-migration experiment joins the same
+# contract: khsim migrate -check must hold its invariants (one live
+# copy per cell, converged signed ledger, downtime monotone in working
+# set) and two same-seed runs must render byte-identical artifacts.
 obscheck: build
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/khsim metrics -config kitten -bench stream -seed 1 > "$$tmp/a.metrics" && \
@@ -46,6 +49,9 @@ obscheck: build
 	$(GO) run ./cmd/khsim snapshot -seed 1 -check -artifact "$$tmp/a.snap" > /dev/null && \
 	$(GO) run ./cmd/khsim snapshot -seed 1 -check -artifact "$$tmp/b.snap" > /dev/null && \
 	cmp "$$tmp/a.snap" "$$tmp/b.snap" || { echo "obscheck: snapshot fork replay not deterministic"; exit 1; }; \
+	$(GO) run ./cmd/khsim migrate -seed 1 -check -artifact "$$tmp/a.mig" > /dev/null && \
+	$(GO) run ./cmd/khsim migrate -seed 1 -check -artifact "$$tmp/b.mig" > /dev/null && \
+	cmp "$$tmp/a.mig" "$$tmp/b.mig" || { echo "obscheck: migration artifact not deterministic"; exit 1; }; \
 	echo "obscheck: ok"
 
 # check is the full pre-merge gate: build, vet, the test suite under the

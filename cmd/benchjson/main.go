@@ -20,6 +20,12 @@
 //	                 "snapshot-fork" comparison block pinning fork cost
 //	                 against cold stack construction; -check requires
 //	                 the cold boot to stay ≥ 10× a fork.
+//	migration        the live VM migration sweep (3-node cluster, pre-copy
+//	                 + stop-and-copy over the fabric) measured end to end.
+//	                 The file carries a "migration" block with per-cell
+//	                 downtime vs budget (downtime is simulated time, so
+//	                 the budget gate is machine-independent); -check
+//	                 requires every cell to stay under budget.
 //
 // Reported per scenario: ns/event (wall nanoseconds per simulation event,
 // best of -reps), events/sec, allocs/event (Go heap allocations per event
@@ -84,6 +90,29 @@ type ForkResult struct {
 	ColdBootsTimed uint64  `json:"cold_boots_timed"`
 }
 
+// MigrationCellResult is one live-migration cell's gate numbers: the
+// measured stop-and-copy downtime against its budget. Downtime is pure
+// simulated time — machine-independent — so the budget is a fixed
+// function of the working set (2× the ideal wire time for the dirty set
+// at 1 GB/s, plus 1 ms of handshake slack), and the under-budget bit is
+// a hard determinism-backed gate, not a wall-clock heuristic.
+type MigrationCellResult struct {
+	WorkingSetPages int    `json:"working_set_pages"`
+	Kill            bool   `json:"kill"`
+	DowntimeNs      int64  `json:"downtime_ns"`
+	BudgetNs        int64  `json:"budget_ns"`
+	BytesShipped    uint64 `json:"bytes_shipped"`
+	Rounds          int    `json:"rounds"`
+	Outcome         string `json:"outcome"`
+	UnderBudget     bool   `json:"downtime_under_budget"`
+}
+
+// MigrationResult is the BENCH file's migration block: the downtime-vs-
+// working-set sweep plus the mid-transfer-kill cell.
+type MigrationResult struct {
+	Cells []MigrationCellResult `json:"cells"`
+}
+
 // Baseline is a pinned historical run kept for trajectory comparison.
 type Baseline struct {
 	Label     string                    `json:"label"`
@@ -101,6 +130,7 @@ type File struct {
 	CalibNsPerOp float64                   `json:"calib_ns_per_op,omitempty"`
 	Baseline     *Baseline                 `json:"baseline,omitempty"`
 	Fork         *ForkResult               `json:"snapshot-fork,omitempty"`
+	Migration    *MigrationResult          `json:"migration,omitempty"`
 	Scenarios    map[string]ScenarioResult `json:"scenarios"`
 }
 
@@ -442,6 +472,65 @@ func forkScenario() (measure, error) {
 	return measure{events: forks, allocs: mallocs, wall: wall}, nil
 }
 
+// migrationBlock carries the latest migration sweep's gate numbers for
+// the File's migration block (like forkBlock for snapshot-fork).
+var migrationBlock *MigrationResult
+
+// migrationBudgetNs is the downtime budget for one cell. Clean cells
+// get twice the ideal wire time of the working set at the fabric's
+// 1 GB/s (a 4 KiB page is 4096 ns on the wire) plus 1 ms of handshake
+// slack; the kill cell's "downtime" is the pause-to-rollback window,
+// bounded by the fault schedule rather than the working set, so it gets
+// a flat 80 ms — well under the 120 ms cell but far over any clean run.
+func migrationBudgetNs(wsPages int, kill bool) int64 {
+	if kill {
+		return 80_000_000
+	}
+	return 2*int64(wsPages)*4096 + 1_000_000
+}
+
+// migrationScenario: the live-migration sweep (three working-set cells
+// plus the mid-transfer kill cell) measured end to end like the cluster
+// scenario — construction included, event count as the cross-node
+// determinism gate. It also fills the migration gate block: downtime
+// must stay under the per-cell budget, which -check enforces.
+func migrationScenario() (measure, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	rep, err := harness.RunMigrationSuite(7)
+	if err != nil {
+		return measure{}, err
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err := rep.Check(); err != nil {
+		return measure{}, fmt.Errorf("migration properties: %w", err)
+	}
+	mb := &MigrationResult{}
+	var events uint64
+	var simDur sim.Duration
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		events += c.EventsFired
+		simDur += rep.Run
+		cr := MigrationCellResult{
+			WorkingSetPages: c.WorkingSetPages,
+			Kill:            c.Kill,
+			DowntimeNs:      int64(c.Downtime.Nanos()),
+			BudgetNs:        migrationBudgetNs(c.WorkingSetPages, c.Kill),
+			BytesShipped:    c.Bytes,
+			Rounds:          len(c.Rounds),
+			Outcome:         c.Outcome.String(),
+		}
+		cr.UnderBudget = cr.DowntimeNs <= cr.BudgetNs
+		mb.Cells = append(mb.Cells, cr)
+	}
+	migrationBlock = mb
+	return measure{events: events, allocs: m1.Mallocs - m0.Mallocs, wall: wall, simDur: simDur}, nil
+}
+
 var scenarios = []struct {
 	name string
 	run  func() (measure, error)
@@ -451,6 +540,7 @@ var scenarios = []struct {
 	{"fault-storm-4vm", stormScenario},
 	{"cluster-failover", clusterScenario},
 	{"snapshot-fork", forkScenario},
+	{"migration", migrationScenario},
 }
 
 // runAll measures every scenario reps times. Recording (median=true)
@@ -573,6 +663,25 @@ func main() {
 					forkBlock.NsPerFork/1e3, forkBlock.NsPerColdBoot/1e3, forkBlock.ColdOverFork)
 			}
 		}
+		if ref.Migration != nil {
+			if migrationBlock == nil {
+				fmt.Fprintln(os.Stderr, "benchjson: migration block committed but no migration sweep ran")
+				failed = true
+			} else {
+				over := 0
+				for _, c := range migrationBlock.Cells {
+					if !c.UnderBudget {
+						fmt.Fprintf(os.Stderr, "benchjson: REGRESSION migration ws=%d kill=%v: downtime %.3f ms over budget %.3f ms\n",
+							c.WorkingSetPages, c.Kill, float64(c.DowntimeNs)/1e6, float64(c.BudgetNs)/1e6)
+						failed = true
+						over++
+					}
+				}
+				if over == 0 {
+					fmt.Printf("check migration        ok: %d cells under downtime budget\n", len(migrationBlock.Cells))
+				}
+			}
+		}
 		if failed {
 			os.Exit(1)
 		}
@@ -585,6 +694,7 @@ func main() {
 			Note:         "wall-clock throughput of the internal/sim discrete-event engine; see EXPERIMENTS.md",
 			CalibNsPerOp: calibrate(),
 			Fork:         forkBlock,
+			Migration:    migrationBlock,
 			Scenarios:    results,
 		}
 		if prev, err := readFile(*out); err == nil {

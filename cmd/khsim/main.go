@@ -10,6 +10,7 @@
 //	khsim metrics [-config native|kitten|linux] [-bench NAME] [-seed S] [-format text|json]
 //	khsim trace [-config native|kitten|linux] [-bench NAME] [-seed S] [-format perfetto|tsv] [-out FILE] [-check]
 //	khsim snapshot [-seed S] [-artifact FILE] [-check] [-sweep [-delays LIST] [-window-ms N]]
+//	khsim migrate [-seed S] [-artifact FILE] [-check]
 //
 // With no manifest the paper's evaluation partition plan is used. Bench
 // names: hpcg, stream, randomaccess, nas-lu, nas-bt, nas-cg, nas-ep,
@@ -42,6 +43,15 @@
 // one diverges through the watchdog's warm snapshot restore. -sweep
 // instead runs the fork-based sweep: one boot, one warm snapshot, one
 // forked timeline per fault-injection delay.
+//
+// The migrate subcommand runs the live VM migration experiment: a
+// three-node cluster moves a running job VM between nodes with pre-copy
+// rounds over the fabric, a stop-and-copy handoff and a commit
+// handshake, sweeping the VM's working set to measure downtime, plus a
+// fault cell that partitions the target mid-transfer and must leave
+// exactly one live copy (rolled back at the source), with every
+// lifecycle step as a signed record in the replicated attestation
+// ledger.
 package main
 
 import (
@@ -246,6 +256,9 @@ func main() {
 			return
 		case "snapshot":
 			snapshotCmd(os.Args[2:])
+			return
+		case "migrate":
+			migrateCmd(os.Args[2:])
 			return
 		}
 	}

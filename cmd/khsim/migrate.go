@@ -1,0 +1,44 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"khsim/internal/harness"
+)
+
+// migrateCmd implements `khsim migrate`: the live VM migration sweep. A
+// three-node cluster moves a running job VM from node 0 to a standby
+// slot on node 1 — pre-copy rounds over the fabric, stop-and-copy,
+// commit handshake, signed migrate-out/migrate-in records in the
+// replicated attestation ledger — across growing working sets, plus one
+// fault cell that partitions the target mid-transfer and must roll the
+// VM back to the source. -check exits non-zero unless every cell left
+// exactly one live copy, the signed ledger converged, and downtime grew
+// monotonically with the working set; -artifact writes the byte-
+// comparable artifact (the obscheck migration gate runs the command
+// twice with the same seed and compares the files).
+func migrateCmd(args []string) {
+	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same artifact)")
+	artifact := fs.String("artifact", "", "write the deterministic experiment artifact to FILE")
+	check := fs.Bool("check", false, "exit non-zero unless the migration invariants hold")
+	fs.Parse(args)
+
+	rep, err := harness.RunMigrationSuite(*seed)
+	if err != nil {
+		fail(err)
+	}
+	if *artifact != "" {
+		if err := os.WriteFile(*artifact, []byte(rep.Artifact()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Print(rep.String())
+	if *check {
+		if err := rep.Check(); err != nil {
+			fail(err)
+		}
+	}
+}

@@ -69,6 +69,13 @@ const (
 	// congestion spike, not loss.
 	NetDelay
 
+	// MigrationKill partitions one side of the first in-flight live
+	// migration (SetCluster required): Target "source" cuts the sending
+	// node, anything else the receiving node. The migration protocol must
+	// leave exactly one live copy of the VM either way — resumed at the
+	// source or completed at the target, never both. Heal with NetHeal.
+	MigrationKill
+
 	nKinds // sentinel
 )
 
@@ -97,6 +104,8 @@ func (k Kind) String() string {
 		return "netdrop"
 	case NetDelay:
 		return "netdelay"
+	case MigrationKill:
+		return "migkill"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -161,7 +170,8 @@ type Injector struct {
 	trace   []Record
 	stats   Stats
 	victims []*hafnium.VM
-	fabric  *net.Fabric // nil outside cluster runs
+	fabric  *net.Fabric      // nil outside cluster runs
+	cluster *machine.Cluster // nil unless MigrationKill rules are in play
 
 	// Hot-path caches: the injector fires thousands of times per run, so
 	// the per-firing engine bookkeeping is precomputed once instead of
@@ -186,6 +196,17 @@ type Injector struct {
 // them.
 func (in *Injector) SetFabric(f *net.Fabric) { in.fabric = f }
 
+// SetCluster points the injector at the cluster, enabling MigrationKill
+// (which needs the live-migration list to pick its victim). Implies
+// SetFabric when none was set. Must be called before Start when any rule
+// uses MigrationKill.
+func (in *Injector) SetCluster(c *machine.Cluster) {
+	in.cluster = c
+	if in.fabric == nil {
+		in.fabric = c.Fabric
+	}
+}
+
 // New validates the rules and builds an injector over a constructed (not
 // necessarily booted) secure node. The seed is independent of the engine
 // seed so injection randomness never couples to workload randomness.
@@ -209,7 +230,11 @@ func New(node *machine.Node, hyp *hafnium.Hypervisor, seed uint64, rules []Rule)
 		if r.Mean <= 0 && len(r.At) == 0 {
 			return nil, fmt.Errorf("faults: rule %d (%v): needs Mean or At times", i, r.Kind)
 		}
-		if needsFabric(r.Kind) {
+		if r.Kind == MigrationKill {
+			if r.Target != "" && r.Target != "source" && r.Target != "target" {
+				return nil, fmt.Errorf("faults: rule %d (migkill): target %q (want source or target)", i, r.Target)
+			}
+		} else if needsFabric(r.Kind) {
 			if r.Target != "" {
 				if _, err := parseNodeTarget(r.Target); err != nil {
 					return nil, fmt.Errorf("faults: rule %d (%v): %w", i, r.Kind, err)
@@ -277,6 +302,9 @@ func (in *Injector) Start(until sim.Time) error {
 	for i := range in.rules {
 		if needsFabric(in.rules[i].Kind) && in.fabric == nil {
 			return fmt.Errorf("faults: rule %d (%v) needs a cluster fabric (SetFabric)", i, in.rules[i].Kind)
+		}
+		if in.rules[i].Kind == MigrationKill && in.cluster == nil {
+			return fmt.Errorf("faults: rule %d (migkill) needs a cluster (SetCluster)", i)
 		}
 	}
 	if err := in.node.GIC.Enable(spuriousSPI); err != nil {
@@ -486,6 +514,29 @@ func (in *Injector) fire(ri int) {
 		} else {
 			rec.Detail = fmt.Sprintf("+%v latency for %v", extra, window)
 		}
+	case MigrationKill:
+		var mig *machine.Migration
+		for _, m := range in.cluster.Migrations() {
+			if m.Active() {
+				mig = m
+				break
+			}
+		}
+		if mig == nil {
+			rec.Target = "-"
+			rec.Detail = "no active migration; skipped"
+			break
+		}
+		id := mig.To
+		if r.Target == "source" {
+			id = mig.From
+		}
+		rec.Target = fmt.Sprintf("node%d", id)
+		if err := in.fabric.Partition(id); err != nil {
+			rec.Detail = fmt.Sprintf("migkill: %v", err)
+		} else {
+			rec.Detail = fmt.Sprintf("partitioned mid-migration of %q (%d->%d)", mig.VM, mig.From, mig.To)
+		}
 	}
 	in.trace = append(in.trace, rec)
 	in.stats.Injected++
@@ -557,7 +608,10 @@ func (in *Injector) rogueHypercall(vm *hafnium.VM) string {
 // with an ns/us/ms/s suffix (default 1ms). IRQ and TLB kinds ignore the
 // VM target and rotate over cores. The network kinds (partition, heal,
 // netdrop, netdelay) take a node target of the form node<N> (empty =
-// rotate over the fabric) and require an injector with SetFabric.
+// rotate over the fabric) and require an injector with SetFabric. The
+// migkill kind takes target source or target (empty = target) — the
+// migration side to partition — and requires an injector with
+// SetCluster.
 func ParseSpec(spec string) ([]Rule, error) {
 	var rules []Rule
 	for _, entry := range strings.Split(spec, ",") {
@@ -581,7 +635,7 @@ func ParseSpec(spec string) ([]Rule, error) {
 			}
 			r.Mean = d
 		}
-		if !needsVM(kind) && !needsFabric(kind) {
+		if !needsVM(kind) && !needsFabric(kind) && kind != MigrationKill {
 			r.Target = ""
 		}
 		rules = append(rules, r)

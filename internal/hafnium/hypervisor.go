@@ -30,6 +30,14 @@ type Stats struct {
 	// SnapshotRestores counts watchdog restarts served from the boot-time
 	// warm stage-2 snapshot instead of a cold table rebuild.
 	SnapshotRestores uint64
+	// MigratedOut counts VMs whose live migration off this node committed
+	// (image released and scrubbed here, resumed elsewhere).
+	MigratedOut uint64
+	// MigratedIn counts migrated VM images admitted and resumed here.
+	MigratedIn uint64
+	// MigrationAborts counts migrations rolled back to this (source) node
+	// after a failed transfer.
+	MigrationAborts uint64
 }
 
 // Hypervisor is the EL2 secure partition manager instance for one node.
@@ -311,6 +319,12 @@ func (h *Hypervisor) Boot() error {
 	}
 	for _, id := range h.order {
 		vm := h.vms[id]
+		if vm.spec.Standby {
+			// Standby slot: built and mapped, but held stopped until a
+			// live-migration AdmitVM starts it.
+			vm.state = VMStopped
+			continue
+		}
 		vm.state = VMRunning
 		for _, vc := range vm.vcpus {
 			if vm.spec.Class != Primary {

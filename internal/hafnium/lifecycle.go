@@ -7,7 +7,11 @@ package hafnium
 // heartbeat proposals.
 type LifecycleEvent struct {
 	// Kind is the transition: "crash", "restart", "snapshot-restore" (a
-	// restart served from the boot-time warm snapshot), or "quarantine".
+	// restart served from the boot-time warm snapshot), "quarantine", or
+	// one of the live-migration transitions — "migrate-out" (image
+	// released here after committing on the destination), "migrate-in"
+	// (image admitted and resumed here), "migrate-abort" (transfer failed;
+	// the VM rolled back and resumed here).
 	Kind string
 	// VM is the partition's manifest name.
 	VM string

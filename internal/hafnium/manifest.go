@@ -35,6 +35,11 @@ type VMSpec struct {
 	// rebuilding it cold. RAM is still scrubbed; only the translation
 	// tables come back warm. Requires restart_policy = restart.
 	RestartFromSnapshot bool
+	// Standby builds the VM — RAM allocated, stage-2 mapped, guest
+	// attached — but leaves it stopped at Boot. A standby slot is a live-
+	// migration landing pad: AdmitVM imports a migrated image into it and
+	// starts its VCPUs. Standby VMs must be secondaries.
+	Standby bool
 }
 
 // Manifest is the static partition configuration Hafnium consumes during
@@ -76,6 +81,9 @@ func (m *Manifest) Validate() error {
 		}
 		if v.RestartFromSnapshot && v.Restart != RestartAlways {
 			return fmt.Errorf("hafnium: VM %q sets restart_from_snapshot without restart_policy = restart", v.Name)
+		}
+		if v.Standby && v.Class != Secondary {
+			return fmt.Errorf("hafnium: standby VM %q must be a secondary", v.Name)
 		}
 		switch v.Class {
 		case Primary:
@@ -247,6 +255,12 @@ func ParseManifest(text string) (*Manifest, error) {
 				return nil, fmt.Errorf("hafnium: manifest line %d: restart_from_snapshot: %v", ln+1, err)
 			}
 			cur.RestartFromSnapshot = b
+		case "standby":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("hafnium: manifest line %d: standby: %v", ln+1, err)
+			}
+			cur.Standby = b
 		default:
 			return nil, fmt.Errorf("hafnium: manifest line %d: unknown VM key %q", ln+1, key)
 		}
@@ -288,6 +302,9 @@ func (m *Manifest) Format() string {
 		}
 		if v.RestartFromSnapshot {
 			sb.WriteString("restart_from_snapshot = true\n")
+		}
+		if v.Standby {
+			sb.WriteString("standby = true\n")
 		}
 	}
 	return sb.String()

@@ -67,6 +67,11 @@ const (
 	// (or whose manifest requests quarantine on first crash): it is held
 	// out of service until a fresh signed image is launched.
 	VMQuarantined
+	// VMMigrating marks a VM paused for the stop-and-copy phase of a live
+	// migration: its VCPUs are ejected but its guest image is preserved.
+	// The VM either resumes here (migration aborted) or its image resumes
+	// on the destination node and this slot is scrubbed — never both.
+	VMMigrating
 )
 
 // VMAborted is the historical name for VMCrashed.
@@ -84,6 +89,8 @@ func (s VMState) String() string {
 		return "crashed"
 	case VMQuarantined:
 		return "quarantined"
+	case VMMigrating:
+		return "migrating"
 	default:
 		return fmt.Sprintf("VMState(%d)", int(s))
 	}

@@ -183,8 +183,9 @@ func (r *FailoverReport) Summary() string {
 			i, r.LogLens[i], r.Commits[i], r.Restarts[i], r.VMStates[i])
 	}
 	fmt.Fprintf(&b, "prefix-consistent=%v converged=%v\n", r.PrefixConsistent, r.Converged)
-	fmt.Fprintf(&b, "fabric: sent=%d delivered=%d dropped=%d (partition=%d injected=%d) delayed=%d\n",
-		r.Fabric.Sent, r.Fabric.Delivered, r.Fabric.Dropped(), r.Fabric.DroppedPartition, r.Fabric.DroppedInjected, r.Fabric.DelayedInjected)
+	fmt.Fprintf(&b, "fabric: sent=%d delivered=%d dropped=%d (partition=%d in-flight=%d injected=%d) delayed=%d\n",
+		r.Fabric.Sent, r.Fabric.Delivered, r.Fabric.Dropped(), r.Fabric.DroppedPartition,
+		r.Fabric.DroppedPartitionInFlight, r.Fabric.DroppedInjected, r.Fabric.DelayedInjected)
 	fmt.Fprintf(&b, "events fired=%d\n", r.EventsFired)
 	return b.String()
 }

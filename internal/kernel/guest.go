@@ -1,6 +1,9 @@
 package kernel
 
 import (
+	"fmt"
+	"sort"
+
 	"khsim/internal/gic"
 	"khsim/internal/hafnium"
 	"khsim/internal/machine"
@@ -152,6 +155,94 @@ func (g *Guest) tick(vc *hafnium.VCPU) {
 			vc.ArmVTimerAfter(g.cfg.TickHz.Period())
 		}
 	})
+}
+
+// guestMigState is the guest kernel's portable migration image: the
+// counters plus one exported state per Portable workload process, in
+// VCPU order.
+type guestMigState struct {
+	Ticks   uint64
+	DevIRQs uint64
+	Done    map[int]bool
+	Running map[int]bool
+	Procs   []procMigState
+}
+
+// procMigState is one workload's exported state.
+type procMigState struct {
+	VCPU  int
+	State any
+}
+
+// guestMigHeaderBytes is the modeled wire size of the kernel-level
+// migration image excluding the per-process states.
+const guestMigHeaderBytes = 48
+
+// ExportMigration implements hafnium.MigratableGuest: it packages the
+// kernel counters and every osapi.Portable workload's exported state
+// into a plain value the migration transfer can ship, returning the
+// image and its modeled wire size. Processes that are not Portable are
+// left behind (they restart from scratch on the destination).
+func (g *Guest) ExportMigration() (any, int) {
+	st := &guestMigState{
+		Ticks:   g.ticks,
+		DevIRQs: g.devirqs,
+		Done:    make(map[int]bool, len(g.done)),
+		Running: make(map[int]bool, len(g.running)),
+	}
+	for k, v := range g.done {
+		st.Done[k] = v
+	}
+	for k, v := range g.running {
+		st.Running[k] = v
+	}
+	bytes := guestMigHeaderBytes
+	// Walk VCPUs in sorted order so the image layout is deterministic.
+	idx := make([]int, 0, len(g.procs))
+	for i := range g.procs {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		if p, ok := g.procs[i].(osapi.Portable); ok {
+			ps, n := p.ExportState()
+			st.Procs = append(st.Procs, procMigState{VCPU: i, State: ps})
+			bytes += n
+		}
+	}
+	return st, bytes
+}
+
+// ImportMigration implements hafnium.MigratableGuest: it reinstalls an
+// exported image into this (standby, never-booted) guest. The attached
+// processes must be Portable instances matching the image's VCPU slots;
+// their next Main call — the fresh boot the hypervisor drives after
+// admitting the VM — continues from the imported state.
+func (g *Guest) ImportMigration(state any) error {
+	st, ok := state.(*guestMigState)
+	if !ok {
+		return fmt.Errorf("kernel: guest ImportMigration of foreign state %T", state)
+	}
+	for _, ps := range st.Procs {
+		p, ok := g.procs[ps.VCPU].(osapi.Portable)
+		if !ok {
+			return fmt.Errorf("kernel: vcpu %d has no portable process to import into", ps.VCPU)
+		}
+		if err := p.ImportState(ps.State); err != nil {
+			return err
+		}
+	}
+	g.ticks = st.Ticks
+	g.devirqs = st.DevIRQs
+	g.done = make(map[int]bool, len(st.Done))
+	for k, v := range st.Done {
+		g.done[k] = v
+	}
+	g.running = make(map[int]bool, len(st.Running))
+	for k, v := range st.Running {
+		g.running[k] = v
+	}
+	return nil
 }
 
 // guestExec adapts a VCPU to osapi.Executor.

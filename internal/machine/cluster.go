@@ -41,6 +41,14 @@ type Cluster struct {
 
 	cfg ClusterConfig
 	vt  sim.Time // global virtual time: timestamp of the last fired event
+
+	// Live-migration state (see migrate.go): per-node endpoints and wire
+	// ports installed by EnableMigration, plus every transfer scheduled.
+	migEPs   []MigrationEndpoint
+	migPorts []*migPort
+	migs     []*Migration
+	migByID  map[uint64]*Migration
+	migSeq   uint64
 }
 
 // NewCluster builds the rack: n nodes from the template with

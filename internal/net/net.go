@@ -61,22 +61,39 @@ func DefaultLink() LinkConfig {
 	return LinkConfig{Latency: sim.FromMicros(50), Bandwidth: 1e9}
 }
 
-// Stats counts fabric activity. Dropped splits by cause.
+// Stats counts fabric activity. Dropped splits by cause, and partition
+// drops further split by *where* the message died: at send time (the
+// sender or receiver was already cut off) or in flight (the partition
+// landed while the message was on the wire). Migration tests use the
+// split to assert which side of a transfer a fault killed.
 type Stats struct {
-	Sent             uint64
-	Delivered        uint64
-	DroppedPartition uint64 // sent or in flight while an endpoint was partitioned
-	DroppedInjected  uint64 // explicit DropNext faults
-	DelayedInjected  uint64 // messages stretched by a delay spike
+	Sent                     uint64
+	Delivered                uint64
+	DroppedPartition         uint64 // dropped at send time: an endpoint was partitioned
+	DroppedPartitionInFlight uint64 // dropped at delivery time: partition arrived mid-flight
+	DroppedInjected          uint64 // explicit DropNext faults
+	DelayedInjected          uint64 // messages stretched by a delay spike
 }
 
 // Dropped is the total message loss from all causes.
-func (s Stats) Dropped() uint64 { return s.DroppedPartition + s.DroppedInjected }
+func (s Stats) Dropped() uint64 {
+	return s.DroppedPartition + s.DroppedPartitionInFlight + s.DroppedInjected
+}
+
+// kindBinding routes messages whose Kind starts with a prefix to a
+// dedicated handler, letting several protocols share one node (e.g. the
+// replication service on the default handler and migration transfers on
+// a "mig." binding).
+type kindBinding struct {
+	prefix  string
+	handler Handler
+}
 
 // endpoint is one attached node.
 type endpoint struct {
 	eng     *sim.Engine
 	handler Handler
+	kinds   []kindBinding // checked in registration order before handler
 
 	partitioned bool
 	dropNext    int          // drop the next N messages touching this node
@@ -159,6 +176,30 @@ func (f *Fabric) Bind(id NodeID, h Handler) error {
 	return nil
 }
 
+// BindKind installs a handler for node id that receives only messages
+// whose Kind starts with prefix. Kind bindings are checked in
+// registration order before the default Bind handler, so independent
+// protocols (replication, migration) can share a node without stealing
+// each other's traffic. Rebinding an existing prefix replaces its
+// handler.
+func (f *Fabric) BindKind(id NodeID, prefix string, h Handler) error {
+	if err := f.check(id); err != nil {
+		return err
+	}
+	if prefix == "" {
+		return fmt.Errorf("net: BindKind needs a non-empty kind prefix")
+	}
+	ep := &f.nodes[id]
+	for i := range ep.kinds {
+		if ep.kinds[i].prefix == prefix {
+			ep.kinds[i].handler = h
+			return nil
+		}
+	}
+	ep.kinds = append(ep.kinds, kindBinding{prefix: prefix, handler: h})
+	return nil
+}
+
 func (f *Fabric) check(id NodeID) error {
 	if id < 0 || int(id) >= len(f.nodes) {
 		return fmt.Errorf("net: node %d out of range [0,%d)", id, len(f.nodes))
@@ -169,9 +210,23 @@ func (f *Fabric) check(id NodeID) error {
 // Stats returns a snapshot of the fabric counters.
 func (f *Fabric) Stats() Stats { return f.stats }
 
-// Partitioned reports whether node id is currently partitioned.
+// LinkBusyUntil reports when the directed link (from, to) finishes
+// serializing everything queued on it — the link cursor. Bulk-transfer
+// protocols (live migration pre-copy) pace their rounds off it so round
+// boundaries reflect real contention from whatever else shares the link,
+// instead of a private estimate that would drift from the fabric's.
+func (f *Fabric) LinkBusyUntil(from, to NodeID) sim.Time {
+	return f.busy[[2]NodeID{from, to}]
+}
+
+// Partitioned reports whether node id is currently partitioned. An
+// out-of-range id is a programming bug — asking about a node that does
+// not exist — and panics rather than silently answering "connected".
 func (f *Fabric) Partitioned(id NodeID) bool {
-	return f.check(id) == nil && f.nodes[id].partitioned
+	if err := f.check(id); err != nil {
+		panic(err.Error())
+	}
+	return f.nodes[id].partitioned
 }
 
 // Partition isolates node id: every message sent by it, addressed to it,
@@ -210,6 +265,10 @@ func (f *Fabric) DropNext(id NodeID, n int) error {
 // DelaySpike stretches every link touching node id by extra for a window
 // starting now (by the node's own clock) — congestion or a slow switch,
 // not loss. The spike applies to messages *sent* during the window.
+// Overlapping spikes merge extend-never-shrink: the window ends at the
+// later of the two ends and the extra latency is the larger of the two,
+// so a short late spike can never truncate an earlier longer one. A
+// spike arriving after the previous window expired replaces it outright.
 func (f *Fabric) DelaySpike(id NodeID, extra sim.Duration, window sim.Duration) error {
 	if err := f.check(id); err != nil {
 		return err
@@ -221,8 +280,20 @@ func (f *Fabric) DelaySpike(id NodeID, extra sim.Duration, window sim.Duration) 
 	if ep.eng == nil {
 		return fmt.Errorf("net: node %d not attached", id)
 	}
-	ep.delayUntil = ep.eng.Now().Add(window)
-	ep.delayExtra = extra
+	now := ep.eng.Now()
+	until := now.Add(window)
+	if now >= ep.delayUntil {
+		// Previous spike is over; its extra must not leak into this one.
+		ep.delayUntil = until
+		ep.delayExtra = extra
+		return nil
+	}
+	if until > ep.delayUntil {
+		ep.delayUntil = until
+	}
+	if extra > ep.delayExtra {
+		ep.delayExtra = extra
+	}
 	return nil
 }
 
@@ -272,11 +343,15 @@ func (f *Fabric) Send(from, to NodeID, kind string, payload any, bytes int) erro
 		f.mSent.Inc()
 	}
 	// Injected single-message drops are consumed at send time so a burst
-	// of n eats exactly the next n messages.
+	// of n eats exactly the next n messages touching the node. A message
+	// between two targeted nodes counts against BOTH budgets: each node's
+	// "next n messages sent by or addressed to me" contract holds
+	// independently, and this message is one of those for each side.
 	if src.dropNext > 0 || dst.dropNext > 0 {
 		if src.dropNext > 0 {
 			src.dropNext--
-		} else {
+		}
+		if dst.dropNext > 0 {
 			dst.dropNext--
 		}
 		f.stats.DroppedInjected++
@@ -313,12 +388,14 @@ func (f *Fabric) Send(from, to NodeID, kind string, payload any, bytes int) erro
 
 // deliver runs on the destination engine: the partition state is
 // re-checked at delivery time so a partition arriving while the message
-// was in flight still loses it.
+// was in flight still loses it (counted separately, as an in-flight
+// partition drop). Delivery dispatches on kind bindings first, falling
+// back to the node's default handler.
 func (f *Fabric) deliver(arg any) {
 	m := arg.(*Message)
 	src, dst := &f.nodes[m.From], &f.nodes[m.To]
 	if src.partitioned || dst.partitioned {
-		f.stats.DroppedPartition++
+		f.stats.DroppedPartitionInFlight++
 		if f.mDropped != nil {
 			f.mDropped.Inc()
 		}
@@ -327,6 +404,13 @@ func (f *Fabric) deliver(arg any) {
 	f.stats.Delivered++
 	if f.mDeliv != nil {
 		f.mDeliv.Inc()
+	}
+	for i := range dst.kinds {
+		kb := &dst.kinds[i]
+		if len(m.Kind) >= len(kb.prefix) && m.Kind[:len(kb.prefix)] == kb.prefix {
+			kb.handler(*m)
+			return
+		}
 	}
 	if dst.handler != nil {
 		dst.handler(*m)

@@ -106,8 +106,8 @@ func TestFabricPartitionDropsInFlight(t *testing.T) {
 		t.Fatalf("partitioned node received %d messages", len(r.got[1]))
 	}
 	st := r.f.Stats()
-	if st.DroppedPartition != 1 || st.Delivered != 0 {
-		t.Fatalf("stats = %+v, want 1 partition drop", st)
+	if st.DroppedPartitionInFlight != 1 || st.DroppedPartition != 0 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v, want 1 in-flight partition drop", st)
 	}
 	// After healing, traffic flows again.
 	r.engines[0].ScheduleNamed(r.engines[0].Now().Add(sim.FromMicros(1)), "send2", func() {

@@ -165,7 +165,7 @@ func TestSnapshotPartitionHeal(t *testing.T) {
 	if got := len(r.deliveries[1]); got != 0 {
 		t.Fatalf("partitioned timeline delivered %d, want 0", got)
 	}
-	if d := r.f.Stats().DroppedPartition; d != 3 {
+	if d := r.f.Stats().DroppedPartitionInFlight; d != 3 {
 		t.Fatalf("dropped %d on partition, want 3", d)
 	}
 	if err := r.f.Heal(1); err != nil {
@@ -185,8 +185,8 @@ func TestSnapshotPartitionHeal(t *testing.T) {
 	if r.f.Partitioned(1) {
 		t.Fatal("restore left node 1 partitioned")
 	}
-	if d := r.f.Stats().DroppedPartition; d != 0 {
-		t.Fatalf("restore left DroppedPartition=%d, want 0", d)
+	if d := r.f.Stats().Dropped(); d != 0 {
+		t.Fatalf("restore left %d drops counted, want 0", d)
 	}
 	r.runAll()
 	if got := len(r.deliveries[1]); got != 3 {

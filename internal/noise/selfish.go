@@ -110,6 +110,11 @@ type Selfish struct {
 	// (not as a Main-local captured by the chunk closure) so a node
 	// snapshot can capture and restore mid-run progress.
 	remaining sim.Duration
+	// spin is the reusable chunk activity, held on the struct so a
+	// migration export can reclaim the un-executed remainder of an
+	// in-flight chunk (remaining is decremented at chunk start; the part
+	// the chunk never got to run lives in spin.Remaining).
+	spin *machine.Activity
 }
 
 // NewSelfish returns a selfish-detour benchmark with the paper-style
@@ -149,6 +154,7 @@ func (s *Selfish) Main(x osapi.Executor) {
 			}
 		},
 	}
+	s.spin = spin
 	var runChunk func()
 	runChunk = func() {
 		d := chunk
@@ -167,4 +173,46 @@ func (s *Selfish) Main(x osapi.Executor) {
 	}
 	spin.OnComplete = runChunk
 	runChunk()
+}
+
+// SelfishState is the portable migration image of a Selfish process:
+// the spin work still owed plus the detour tally accumulated so far
+// (informational — detour history itself stays in the source-side
+// record, like performance counters that do not migrate).
+type SelfishState struct {
+	Remaining sim.Duration
+	Detours   int
+	Stolen    sim.Duration
+}
+
+// selfishStateBytes is the modeled wire size of a SelfishState: three
+// 64-bit fields plus the process label the migration image carries.
+const selfishStateBytes = 64
+
+// ExportState implements osapi.Portable. The un-executed remainder of an
+// in-flight chunk is reclaimed from the spin activity (the machine layer
+// writes back Remaining on preemption), so migration loses no committed
+// work.
+func (s *Selfish) ExportState() (any, int) {
+	rem := s.remaining
+	if s.spin != nil && !s.Result.Finished {
+		rem += s.spin.Remaining
+	}
+	return SelfishState{
+		Remaining: rem,
+		Detours:   s.Result.Count(),
+		Stolen:    s.Result.StolenTotal(),
+	}, selfishStateBytes
+}
+
+// ImportState implements osapi.Portable: the next Main call (the fresh
+// guest boot on the destination node) spins only for the imported
+// remainder.
+func (s *Selfish) ImportState(state any) error {
+	st, ok := state.(SelfishState)
+	if !ok {
+		return fmt.Errorf("noise: Selfish.ImportState of foreign state %T", state)
+	}
+	s.RunTime = st.Remaining
+	return nil
 }

@@ -37,6 +37,24 @@ type Process interface {
 	Main(x Executor)
 }
 
+// Portable is a Process whose logical execution state can be exported
+// into a migration image and reinstalled into a fresh instance on
+// another node. Unlike sim.Snapshotter (which captures a process for
+// same-node timeline rewind, closures and all), a Portable export must
+// be a plain value: the destination node rebuilds execution from it by
+// booting the process again, the way live migration re-enters a guest
+// from an architectural register file rather than teleporting host
+// state.
+type Portable interface {
+	Process
+	// ExportState returns the portable state and its modeled wire size in
+	// bytes (what the migration transfer charges the fabric for).
+	ExportState() (state any, bytes int)
+	// ImportState reinstalls an exported state into this (not yet
+	// started) instance; the next Main call continues from it.
+	ImportState(state any) error
+}
+
 // Func adapts a function to the Process interface.
 type Func struct {
 	Label string

@@ -1,0 +1,44 @@
+package tz
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSignerDeterministicAndVerifies(t *testing.T) {
+	a := NewSigner(42, 1)
+	b := NewSigner(42, 1)
+	if !bytes.Equal(a.Public(), b.Public()) {
+		t.Fatal("same (seed, node) derived different keys")
+	}
+	if bytes.Equal(NewSigner(42, 2).Public(), a.Public()) {
+		t.Fatal("different nodes share a key")
+	}
+	if bytes.Equal(NewSigner(43, 1).Public(), a.Public()) {
+		t.Fatal("different seeds share a key")
+	}
+
+	payload := []byte("lifecycle n1 migrate-out vm=job restarts=0")
+	r := SignRecord(a, 1, payload)
+	if err := r.Verify(a.Public()); err != nil {
+		t.Fatal(err)
+	}
+	// Ed25519 is deterministic: same payload, same signature bytes.
+	if !bytes.Equal(r.Sig, a.Sign(payload)) {
+		t.Fatal("signing is not deterministic")
+	}
+	// Tampered payload, truncated signature, wrong key: all rejected.
+	bad := r
+	bad.Payload = []byte("lifecycle n1 migrate-out vm=job restarts=1")
+	if bad.Verify(a.Public()) == nil {
+		t.Fatal("verified a tampered payload")
+	}
+	short := r
+	short.Sig = r.Sig[:10]
+	if short.Verify(a.Public()) == nil {
+		t.Fatal("verified a truncated signature")
+	}
+	if r.Verify(NewSigner(42, 2).Public()) == nil {
+		t.Fatal("verified under the wrong node's key")
+	}
+}
