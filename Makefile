@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet race bench benchcheck gobench lint obscheck
+.PHONY: build test check vet race race-core bench benchcheck gobench lint obscheck
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# race-core is the focused race gate over the packages the parallel
+# cluster engine actually shares between goroutines: the event engine,
+# the fabric's deferred-send windows, and the cluster window scheduler.
+race-core:
+	$(GO) test -race ./internal/sim/... ./internal/net/... ./internal/machine/...
 
 # lint is the CI formatting/static gate, reproducible locally: gofmt
 # must report no files, vet must pass, and every exported identifier in
@@ -37,6 +43,10 @@ lint:
 # contract: khsim migrate -check must hold its invariants (one live
 # copy per cell, converged signed ledger, downtime monotone in working
 # set) and two same-seed runs must render byte-identical artifacts.
+# The conservative parallel engine carries the strongest form of the
+# contract: same-seed artifacts must be byte-identical sequential vs
+# parallel (3 and 8 nodes) and parallel vs parallel (8 nodes), so the
+# goroutine schedule leaves no fingerprint.
 obscheck: build
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/khsim metrics -config kitten -bench stream -seed 1 > "$$tmp/a.metrics" && \
@@ -52,6 +62,13 @@ obscheck: build
 	$(GO) run ./cmd/khsim migrate -seed 1 -check -artifact "$$tmp/a.mig" > /dev/null && \
 	$(GO) run ./cmd/khsim migrate -seed 1 -check -artifact "$$tmp/b.mig" > /dev/null && \
 	cmp "$$tmp/a.mig" "$$tmp/b.mig" || { echo "obscheck: migration artifact not deterministic"; exit 1; }; \
+	$(GO) run ./cmd/khsim cluster -seed 1 -parallel -check -artifact "$$tmp/p3.cluster" > /dev/null && \
+	cmp "$$tmp/a.cluster" "$$tmp/p3.cluster" || { echo "obscheck: 3-node parallel run diverges from sequential"; exit 1; }; \
+	$(GO) run ./cmd/khsim cluster -seed 1 -nodes 8 -artifact "$$tmp/s8.cluster" > /dev/null && \
+	$(GO) run ./cmd/khsim cluster -seed 1 -nodes 8 -parallel -check -artifact "$$tmp/p8a.cluster" > /dev/null && \
+	$(GO) run ./cmd/khsim cluster -seed 1 -nodes 8 -parallel -artifact "$$tmp/p8b.cluster" > /dev/null && \
+	cmp "$$tmp/s8.cluster" "$$tmp/p8a.cluster" || { echo "obscheck: 8-node parallel run diverges from sequential"; exit 1; }; \
+	cmp "$$tmp/p8a.cluster" "$$tmp/p8b.cluster" || { echo "obscheck: 8-node parallel runs diverge from each other"; exit 1; }; \
 	echo "obscheck: ok"
 
 # check is the full pre-merge gate: build, vet, the test suite under the

@@ -204,6 +204,8 @@ func clusterCmd(args []string) {
 	artifact := fs.String("artifact", "", "write the deterministic merged trace artifact to FILE")
 	showTrace := fs.Bool("trace", false, "print the full merged trace instead of the summary")
 	check := fs.Bool("check", false, "exit non-zero unless the failover properties hold")
+	parallel := fs.Bool("parallel", false, "run node engines on goroutines under conservative windows (same seed, same artifact)")
+	nodes := fs.Int("nodes", 0, "override the manifest's rack size")
 	fs.Parse(args)
 
 	text := harness.ClusterManifestText
@@ -218,7 +220,13 @@ func clusterCmd(args []string) {
 	if err != nil {
 		fail(err)
 	}
-	r, err := harness.RunClusterManifest(m, *seed)
+	if *nodes < 0 {
+		fail(fmt.Errorf("khsim cluster: -nodes must be positive, got %d", *nodes))
+	}
+	if *nodes > 0 {
+		m.Nodes = *nodes
+	}
+	r, err := harness.RunClusterManifestMode(m, *seed, *parallel)
 	if err != nil {
 		fail(err)
 	}

@@ -37,6 +37,11 @@ type ClusterManifest struct {
 	ReplicaVM    string
 	Run          sim.Duration
 	ProposeEvery sim.Duration
+	// SpinChunk, when positive, chunks each replica VM's spin workload at
+	// this granularity (noise.Selfish.ChunkTime) instead of one long
+	// burn. Dense per-node event streams are what the parallel engine's
+	// speedup benchmarks need; zero keeps the sparse default.
+	SpinChunk sim.Duration
 	// NodePlan is the embedded per-node Hafnium manifest text.
 	NodePlan string
 	Faults   []ManifestFault
@@ -222,6 +227,12 @@ func (m *ClusterManifest) clusterKey(key, val string) error {
 			return err
 		}
 		m.ProposeEvery = sim.FromMicros(v)
+	case "spin_chunk_us":
+		v, err := num()
+		if err != nil {
+			return err
+		}
+		m.SpinChunk = sim.FromMicros(v)
 	default:
 		return fmt.Errorf("unknown [cluster] key %q", key)
 	}

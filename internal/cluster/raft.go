@@ -187,13 +187,16 @@ type Service struct {
 	cfg    Config
 	fabric *net.Fabric
 	reps   []*Replica
-	trace  []TraceRecord
 
 	started bool
 
 	mElections *metrics.Counter
 	mCommits   *metrics.Counter
 	mProposals *metrics.Counter
+	// Per-replica counts already pushed into the metrics counters; the
+	// counts themselves live on the replicas (see Replica shards) so
+	// protocol events never write Service state from node engines.
+	elecFlushed, commFlushed, propFlushed uint64
 }
 
 // New builds the service over an attached fabric: one replica per node,
@@ -315,18 +318,61 @@ func (s *Service) PrefixConsistent() bool {
 	return true
 }
 
-// Trace returns the merged protocol trace in global firing order.
+// Trace returns the merged protocol trace in global firing order. Each
+// replica records its lines into a private shard (so replicas never
+// write shared state from their node engines — load-bearing under the
+// cluster's parallel mode); the merge orders by timestamp, ties broken
+// toward the lowest node id, then per-node append order. That is exactly
+// the order the sequential multiplexer fires events in, so the merged
+// trace is byte-identical whether the run was sequential or parallel.
 func (s *Service) Trace() []TraceRecord {
-	out := make([]TraceRecord, len(s.trace))
-	copy(out, s.trace)
+	total := 0
+	for _, r := range s.reps {
+		total += len(r.trace)
+	}
+	out := make([]TraceRecord, 0, total)
+	heads := make([]int, len(s.reps))
+	for len(out) < total {
+		best := -1
+		for n, r := range s.reps {
+			if heads[n] >= len(r.trace) {
+				continue
+			}
+			if best < 0 || r.trace[heads[n]].At < s.reps[best].trace[heads[best]].At {
+				best = n
+			}
+		}
+		out = append(out, s.reps[best].trace[heads[best]])
+		heads[best]++
+	}
 	return out
+}
+
+// FlushMetrics pushes the per-replica protocol counts accumulated since
+// the last flush into the registry counters. Must be called from a
+// single-threaded point (between windows or after the run); shard sums
+// are order-independent so the counter values are deterministic.
+func (s *Service) FlushMetrics() {
+	if s.mElections == nil {
+		return
+	}
+	var elec, comm, prop uint64
+	for _, r := range s.reps {
+		elec += r.elections
+		comm += r.commits
+		prop += r.proposals
+	}
+	s.mElections.Add(elec - s.elecFlushed)
+	s.mCommits.Add(comm - s.commFlushed)
+	s.mProposals.Add(prop - s.propFlushed)
+	s.elecFlushed, s.commFlushed, s.propFlushed = elec, comm, prop
 }
 
 // TraceString renders the merged trace, one record per line — the
 // byte-identical artifact the determinism gate compares across runs.
 func (s *Service) TraceString() string {
 	var b strings.Builder
-	for _, t := range s.trace {
+	for _, t := range s.Trace() {
 		b.WriteString(t.String())
 		b.WriteByte('\n')
 	}
@@ -334,7 +380,8 @@ func (s *Service) TraceString() string {
 }
 
 func (s *Service) tracef(node int, at sim.Time, format string, args ...any) {
-	s.trace = append(s.trace, TraceRecord{At: at, Node: node, Event: fmt.Sprintf(format, args...)})
+	r := s.reps[node]
+	r.trace = append(r.trace, TraceRecord{At: at, Node: node, Event: fmt.Sprintf(format, args...)})
 }
 
 func (s *Service) majority() int { return len(s.reps)/2 + 1 }
@@ -365,6 +412,15 @@ type Replica struct {
 	hbEv       sim.Event
 
 	timeouts uint64 // election-timeout firings (failover-bound metric)
+
+	// Shards of the service-level trace and protocol counters. Written
+	// only from events on this replica's own node engine — per-node
+	// worker goroutines under the cluster's parallel mode — and merged
+	// at single-threaded points (Service.Trace, Service.FlushMetrics).
+	trace     []TraceRecord
+	elections uint64
+	commits   uint64
+	proposals uint64
 }
 
 // ID reports the replica's node id.
@@ -444,9 +500,7 @@ func (r *Replica) electionTimeout() {
 	r.voted = r.id
 	r.lead = -1
 	r.votes = 1
-	if r.svc.mElections != nil {
-		r.svc.mElections.Inc()
-	}
+	r.elections++
 	r.svc.tracef(r.id, r.eng.Now(), "election timeout: candidate term=%d last=(%d,t%d)", r.term, r.log.Len(), r.lastTerm())
 	req := voteReq{Term: r.term, Candidate: r.id, LastIndex: r.log.Len(), LastTerm: r.lastTerm()}
 	for _, p := range r.svc.reps {
@@ -716,9 +770,7 @@ func (r *Replica) advanceCommit() {
 			continue
 		}
 		r.commit = i
-		if r.svc.mCommits != nil {
-			r.svc.mCommits.Inc()
-		}
+		r.commits++
 		r.svc.tracef(r.id, r.eng.Now(), "commit=%d head=%x", r.commit, shortHead(r.log))
 	}
 }
@@ -731,9 +783,7 @@ func (r *Replica) propose(payload []byte, forwarded bool) bool {
 	}
 	if r.role == Leader {
 		r.log.Append(r.term, payload)
-		if r.svc.mProposals != nil {
-			r.svc.mProposals.Inc()
-		}
+		r.proposals++
 		return true
 	}
 	if forwarded || r.lead < 0 || r.lead == r.id {

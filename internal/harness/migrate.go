@@ -211,13 +211,22 @@ func (r *MigrationReport) String() string {
 // RunMigrationSuite runs the full sweep: the clean working-set cells
 // plus the mid-transfer kill cell.
 func RunMigrationSuite(seed uint64) (*MigrationReport, error) {
+	return RunMigrationSuiteMode(seed, false)
+}
+
+// RunMigrationSuiteMode is RunMigrationSuite with an execution-mode
+// switch. Under the parallel mode the cluster steps sequentially while a
+// migration is unresolved (the documented composition contract — the
+// transfer paces off the shared link cursor), then resumes windowing, so
+// the report is byte-identical to the sequential run.
+func RunMigrationSuiteMode(seed uint64, parallel bool) (*MigrationReport, error) {
 	rep := &MigrationReport{Seed: seed, Nodes: 3, Run: sim.FromMicros(120_000)}
 	for _, ws := range migWorkingSets {
-		if err := runMigrationCell(rep, ws, false); err != nil {
+		if err := runMigrationCell(rep, ws, false, parallel); err != nil {
 			return nil, err
 		}
 	}
-	if err := runMigrationCell(rep, migKillWS, true); err != nil {
+	if err := runMigrationCell(rep, migKillWS, true, parallel); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -266,14 +275,15 @@ func migNodeConfig() machine.Config {
 
 // runMigrationCell builds a fresh 3-node rack, migrates the job VM from
 // node 0 to node 1 mid-run, and appends the cell outcome to rep.
-func runMigrationCell(rep *MigrationReport, ws int, kill bool) error {
+func runMigrationCell(rep *MigrationReport, ws int, kill, parallel bool) error {
 	const nodes = 3
 	run := rep.Run
 	seed := rep.Seed
 	mc, err := machine.NewCluster(machine.ClusterConfig{
-		Nodes: nodes,
-		Node:  migNodeConfig(),
-		Seed:  seed,
+		Nodes:    nodes,
+		Node:     migNodeConfig(),
+		Seed:     seed,
+		Parallel: parallel,
 	})
 	if err != nil {
 		return err
@@ -383,6 +393,14 @@ func runMigrationCell(rep *MigrationReport, ws int, kill bool) error {
 		rules := []faults.Rule{
 			{Kind: faults.MigrationKill, Target: "target", At: []sim.Time{sim.Time(0).Add(sim.FromMicros(25_000))}},
 			{Kind: faults.NetHeal, Target: "node1", At: []sim.Time{sim.Time(0).Add(sim.FromMicros(60_000))}},
+		}
+		// The fault rules mutate fabric state from node 0's engine; no
+		// window may span their fire times (the heal can land after the
+		// aborted transfer resolves and windowing has resumed).
+		for _, r := range rules {
+			for _, at := range r.At {
+				mc.SyncAt(at)
+			}
 		}
 		in, err = faults.New(mc.Nodes[0], stacks[0].Hyp, seed, rules)
 		if err != nil {

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"khsim/internal/cluster"
+)
+
+// TestClusterParallelIdentity is the determinism contract of the
+// conservative parallel engine: the same seed must produce a
+// byte-identical artifact sequentially and in parallel — at the shipped
+// 3-node size, at the 8-node failover scale, and with the dense chunked
+// spin that keeps many nodes busy inside every window.
+func TestClusterParallelIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		nodes int
+		dense bool
+	}{
+		{"3node", 3, false},
+		{"8node", 8, false},
+		{"8node-dense", 8, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			text := ClusterManifestText
+			if tc.dense {
+				text = strings.Replace(text, "run_ms = 400", "run_ms = 400\nspin_chunk_us = 40", 1)
+			}
+			m, err := cluster.ParseManifest(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Nodes = tc.nodes
+			seq, err := RunClusterManifestMode(m, 42, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := RunClusterManifestMode(m, 42, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := par.Check(); err != nil {
+				t.Fatalf("parallel run failed invariants: %v", err)
+			}
+			if seq.EventsFired != par.EventsFired {
+				t.Fatalf("event counts diverge: %d sequential, %d parallel", seq.EventsFired, par.EventsFired)
+			}
+			if seq.Artifact() != par.Artifact() {
+				t.Fatalf("artifacts diverge between modes (%d events)", seq.EventsFired)
+			}
+		})
+	}
+}
+
+// TestClusterParallelSelfIdentity pins the parallel mode against itself:
+// two parallel runs of the same seed are byte-identical, so the goroutine
+// schedule leaves no fingerprint.
+func TestClusterParallelSelfIdentity(t *testing.T) {
+	m, err := cluster.ParseManifest(ClusterManifestText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Nodes = 8
+	a, err := RunClusterManifestMode(m, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunClusterManifestMode(m, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Artifact() != b.Artifact() {
+		t.Fatal("two parallel runs of the same seed diverge")
+	}
+}
+
+// TestMigrationSuiteParallelIdentity checks the composition contract:
+// with a live migration in flight the cluster falls back to sequential
+// stepping, so the whole migration suite must come out byte-identical in
+// both modes.
+func TestMigrationSuiteParallelIdentity(t *testing.T) {
+	seq, err := RunMigrationSuiteMode(42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunMigrationSuiteMode(42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Artifact() != par.Artifact() {
+		t.Fatal("migration suite artifacts diverge between modes")
+	}
+}

@@ -1,0 +1,202 @@
+package machine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"khsim/internal/sim"
+)
+
+// This file is the conservative parallel execution mode (Chandy–Misra–
+// Bryant windowing). The cluster advances in windows of width
+//
+//	lookahead = the fabric's link latency
+//
+// anchored at the globally earliest unfired event m: every event in
+// [m, m+lookahead) can fire without hearing from other nodes, because a
+// fabric message sent at time s >= m serializes and then propagates for
+// at least the link latency, so it cannot be delivered before
+// m+lookahead — past the window's end. Within a window each node's
+// engine runs on its own goroutine; cross-node sends are deferred into
+// per-source outboxes (net.Fabric.BeginWindow) and merged at the barrier
+// in canonical order (timestamp, then source node, then per-source
+// program order), which is exactly the order the sequential multiplexer
+// performs them in. Same seed, same bytes.
+//
+// Two situations fall back to the sequential multiplexer:
+//
+//   - Sync points (SyncAt): timestamps at which the run's harness does
+//     something a window cannot contain — reading cross-node protocol
+//     state, scheduling onto another node's engine, or mutating fabric
+//     fault state (Partition/Heal/DropNext/DelaySpike, which panic while
+//     a window is open). Windows clip at the next sync point, and every
+//     event at exactly that timestamp fires under the sequential
+//     multiplexer, reproducing the sequential interleaving — including
+//     same-instant cross-engine scheduling, which the window workers
+//     could not see.
+//
+//   - Live migration: a pending Migration paces its pre-copy rounds off
+//     the shared link cursor (Fabric.LinkBusyUntil) and hops between the
+//     source and target engines, so the cluster steps sequentially from
+//     the moment a migration is scheduled until it resolves. This is the
+//     documented composition contract: parallel mode with migrations is
+//     correct but runs those stretches at sequential speed.
+
+// SyncAt registers t as a sync point for the parallel mode: no window
+// will span t, and every event at exactly t fires under the sequential
+// multiplexer. Register the timestamp of any scheduled work that touches
+// more than one node outside the fabric's message path. Sync points in
+// the past of the run are ignored; duplicates collapse.
+func (c *Cluster) SyncAt(t sim.Time) {
+	for i, s := range c.syncs {
+		if s == t {
+			return
+		}
+		if s > t {
+			c.syncs = append(c.syncs, 0)
+			copy(c.syncs[i+1:], c.syncs[i:])
+			c.syncs[i] = t
+			return
+		}
+	}
+	c.syncs = append(c.syncs, t)
+}
+
+// migrationActive reports whether any scheduled migration has not yet
+// resolved (including ones whose start lies in the future).
+func (c *Cluster) migrationActive() bool {
+	for _, m := range c.migs {
+		if m.Active() {
+			return true
+		}
+	}
+	return false
+}
+
+// RunUntilParallel advances the cluster to t with the conservative
+// parallel engine. It is bit-for-bit equivalent to RunUntil: same events,
+// same order-sensitive state (fabric sequence numbers, link cursors,
+// stats), same artifacts for the same seed. It returns the number of
+// events fired across the cluster.
+func (c *Cluster) RunUntilParallel(t sim.Time) uint64 {
+	lookahead := c.Fabric.Link().Latency
+	var fired uint64
+	for {
+		m, at := c.next()
+		if m < 0 || at > t {
+			break
+		}
+		if c.migrationActive() {
+			// Sequential fallback while any migration is unresolved: the
+			// transfer reads the shared link cursor mid-flight. One event
+			// at a time so windows resume the instant the last transfer
+			// settles.
+			c.Nodes[m].Engine.Step()
+			c.vt = at
+			fired++
+			continue
+		}
+		// Drop sync points that no event can reach anymore.
+		for len(c.syncs) > 0 && c.syncs[0] < at {
+			c.syncs = c.syncs[1:]
+		}
+		if len(c.syncs) > 0 && c.syncs[0] == at {
+			// Sequential phase: fire everything at exactly the sync
+			// timestamp (including events those events schedule at the
+			// same instant, possibly across engines) in global order.
+			s := c.syncs[0]
+			for {
+				i, et := c.next()
+				if i < 0 || et != s {
+					break
+				}
+				c.Nodes[i].Engine.Step()
+				c.vt = s
+				fired++
+			}
+			c.syncs = c.syncs[1:]
+			continue
+		}
+		limit := at.Add(lookahead)
+		if len(c.syncs) > 0 && c.syncs[0] < limit {
+			limit = c.syncs[0]
+		}
+		// RunUntil's contract fires events at t inclusive; Time is an
+		// integer picosecond count, so t+1 is the exclusive horizon.
+		if t+1 < limit {
+			limit = t + 1
+		}
+		fired += c.runWindow(limit)
+	}
+	for _, n := range c.Nodes {
+		n.Engine.Run(t) // no events remain <= t; this only advances clocks
+	}
+	if c.vt < t {
+		c.vt = t
+	}
+	return fired
+}
+
+// runWindow fires every event strictly below limit, one goroutine per
+// node holding work, then merges the deferred cross-node sends at the
+// barrier. Single-threaded on entry and exit.
+func (c *Cluster) runWindow(limit sim.Time) uint64 {
+	active := c.winActive[:0]
+	for i, n := range c.Nodes {
+		if at, ok := n.Engine.NextAt(); ok && at < limit {
+			active = append(active, i)
+		}
+	}
+	c.winActive = active
+	if c.winFired == nil {
+		c.winFired = make([]uint64, len(c.Nodes))
+		c.winPanics = make([]any, len(c.Nodes))
+	}
+
+	c.Fabric.BeginWindow()
+	// The schedule hooks write the shared next-event heap, so they stay
+	// off while workers run; in-window schedules either fire inside the
+	// window (gone before the heap looks again) or land at >= limit,
+	// where the suspended keys remain valid lower bounds.
+	c.hookOff = true
+	if len(active) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		// One worker — or one processor, where goroutine fan-out is pure
+		// overhead. Run the windows inline in node order: the barrier
+		// discipline (deferred sends, canonical merge) is what carries
+		// determinism, so the schedule is identical either way.
+		for _, i := range active {
+			c.winFired[i] = c.Nodes[i].Engine.RunWindow(limit)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, i := range active {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { c.winPanics[i] = recover() }()
+				c.winFired[i] = c.Nodes[i].Engine.RunWindow(limit)
+			}()
+		}
+		wg.Wait()
+	}
+	c.hookOff = false
+	for _, i := range active {
+		if p := c.winPanics[i]; p != nil {
+			panic(fmt.Sprintf("machine: node %d panicked in parallel window: %v", i, p))
+		}
+	}
+	// Barrier: replay the deferred sends in canonical order (the hooks
+	// are back on, so the scheduled deliveries re-enter the heap), then
+	// advance global virtual time to the last event fired anywhere.
+	c.Fabric.EndWindow()
+	var fired uint64
+	for _, i := range active {
+		fired += c.winFired[i]
+		if now := c.Nodes[i].Engine.Now(); now > c.vt {
+			c.vt = now
+		}
+	}
+	return fired
+}

@@ -1,0 +1,139 @@
+package net
+
+import (
+	"strings"
+	"testing"
+
+	"khsim/internal/sim"
+)
+
+func TestWindowDefersAndMergesCanonically(t *testing.T) {
+	r := newRig(t, 3, DefaultLink())
+	send := func(eng int, at sim.Time, from, to NodeID, kind string) {
+		r.engines[eng].ScheduleNamed(at, "send", func() {
+			if err := r.f.Send(from, to, kind, nil, 64); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	// Canonical replay order is (send timestamp, source node, program
+	// order): a1 leaves first, then the 30 µs tie resolves source 0, 1, 2,
+	// with node 2's two sends keeping their program order.
+	early := sim.Time(0).Add(sim.FromMicros(10))
+	tie := sim.Time(0).Add(sim.FromMicros(30))
+	send(1, early, 1, 2, "a1")
+	send(0, tie, 0, 1, "b0")
+	send(1, tie, 1, 0, "b1")
+	send(2, tie, 2, 0, "b2")
+	send(2, tie, 2, 1, "b2x")
+
+	r.f.BeginWindow()
+	if !r.f.Windowed() {
+		t.Fatal("Windowed() false after BeginWindow")
+	}
+	// Run each engine to the horizon independently — exactly what the
+	// parallel window workers do. Every send defers: shared fabric state
+	// must not move.
+	for _, e := range r.engines {
+		e.Run(sim.Time(0).Add(sim.FromMicros(40)))
+	}
+	if got := r.f.Stats().Sent; got != 0 {
+		t.Fatalf("deferred sends already counted: Sent = %d", got)
+	}
+	r.f.EndWindow()
+	if r.f.Windowed() {
+		t.Fatal("Windowed() true after EndWindow")
+	}
+	if got := r.f.Stats().Sent; got != 5 {
+		t.Fatalf("Sent = %d after merge, want 5", got)
+	}
+	r.runAll()
+
+	seqOf := map[string]uint64{}
+	for _, msgs := range r.got {
+		for _, m := range msgs {
+			seqOf[m.Kind] = m.Seq
+		}
+	}
+	want := []string{"a1", "b0", "b1", "b2", "b2x"}
+	for i, kind := range want {
+		if seqOf[kind] != uint64(i+1) {
+			t.Fatalf("canonical order broken: seqs %v, want %v in order 1..5", seqOf, want)
+		}
+	}
+	if got := r.f.Stats().Delivered; got != 5 {
+		t.Fatalf("Delivered = %d, want 5", got)
+	}
+}
+
+func TestWindowGuardsFaultAPIs(t *testing.T) {
+	r := newRig(t, 2, DefaultLink())
+	r.f.BeginWindow()
+	mustPanic := func(op string, fn func()) {
+		t.Helper()
+		defer func() {
+			msg, _ := recover().(string)
+			if !strings.Contains(msg, "parallel window") {
+				t.Fatalf("%s inside a window: panic %q, want window guard", op, msg)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Partition", func() { _ = r.f.Partition(0) })
+	mustPanic("Heal", func() { _ = r.f.Heal(0) })
+	mustPanic("DropNext", func() { _ = r.f.DropNext(0, 1) })
+	mustPanic("DelaySpike", func() { _ = r.f.DelaySpike(0, sim.FromMicros(1), sim.FromMicros(1)) })
+	mustPanic("LinkBusyUntil", func() { _ = r.f.LinkBusyUntil(0, 1) })
+	r.f.EndWindow()
+	if err := r.f.Partition(0); err != nil {
+		t.Fatalf("Partition after EndWindow: %v", err)
+	}
+}
+
+func TestStatsSumsDeliveryShards(t *testing.T) {
+	r := newRig(t, 3, DefaultLink())
+	// Deliveries land on different destination shards; Stats must see the
+	// sum no matter where they accumulated.
+	r.engines[0].ScheduleNamed(sim.Time(0), "send", func() {
+		_ = r.f.Send(0, 1, "x", nil, 64)
+		_ = r.f.Send(0, 2, "y", nil, 64)
+	})
+	r.engines[1].ScheduleNamed(sim.Time(0), "send", func() {
+		_ = r.f.Send(1, 2, "z", nil, 64)
+	})
+	r.runAll()
+	s := r.f.Stats()
+	if s.Delivered != 3 || s.Sent != 3 {
+		t.Fatalf("Stats = %+v, want Sent 3 / Delivered 3", s)
+	}
+}
+
+func TestSnapshotRestoresDeliveryShards(t *testing.T) {
+	r := newRig(t, 2, DefaultLink())
+	ping := func(at sim.Time) {
+		r.engines[0].ScheduleNamed(at, "send", func() { _ = r.f.Send(0, 1, "p", nil, 64) })
+	}
+	ping(sim.Time(0))
+	r.runAll()
+	if got := r.f.Stats().Delivered; got != 1 {
+		t.Fatalf("Delivered = %d before snapshot, want 1", got)
+	}
+	snap := r.f.Snapshot()
+
+	ping(r.engines[0].Now().Add(sim.FromMicros(1)))
+	r.runAll()
+	if got := r.f.Stats().Delivered; got != 2 {
+		t.Fatalf("Delivered = %d after second send, want 2", got)
+	}
+
+	r.f.Restore(snap)
+	if got := r.f.Stats().Delivered; got != 1 {
+		t.Fatalf("Delivered = %d after Restore, want the snapshot-time 1", got)
+	}
+	// Shards keep accumulating correctly from the restored baseline.
+	ping(r.engines[0].Now().Add(sim.FromMicros(1)))
+	r.runAll()
+	if got := r.f.Stats().Delivered; got != 2 {
+		t.Fatalf("Delivered = %d after post-Restore send, want 2", got)
+	}
+}

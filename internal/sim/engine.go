@@ -87,6 +87,13 @@ type Engine struct {
 
 	// fired counts events executed; useful as a progress/complexity metric.
 	fired uint64
+
+	// scheduleHook, when set, observes every successful schedule (the
+	// event's timestamp, after insertion). Multiplexers that cache each
+	// engine's earliest-event time — the cluster layer's index-min-heap —
+	// use it to learn about cross-engine schedules without rescanning.
+	// The hook must not schedule or cancel events.
+	scheduleHook func(Time)
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic
@@ -156,8 +163,16 @@ func (e *Engine) schedule(at Time, name string, fn func(), afn func(any), arg an
 	} else {
 		e.heapPush(s)
 	}
+	if e.scheduleHook != nil {
+		e.scheduleHook(at)
+	}
 	return Event{s: s, gen: s.gen, when: at}
 }
+
+// SetScheduleHook installs (or, with nil, removes) the schedule observer.
+// See the Engine field doc; the single-engine hot path pays one nil check
+// per schedule when no hook is installed.
+func (e *Engine) SetScheduleHook(hook func(Time)) { e.scheduleHook = hook }
 
 // After enqueues fn to run d from now. Negative d panics.
 func (e *Engine) After(d Duration, fn func()) Event {
@@ -337,6 +352,26 @@ func (e *Engine) Run(until Time) uint64 {
 	}
 	if !e.stopped && e.now < until {
 		e.now = until
+	}
+	return e.fired - start
+}
+
+// RunWindow fires events until the queue is empty, Stop is called, or the
+// next event lies at or after limit. Unlike Run, the clock is NOT advanced
+// to the boundary: it stays at the last fired event, exactly as if the
+// events had been fired one Step at a time. This is the per-node half of
+// the cluster's conservative parallel windows — a horizon the engine must
+// never fire past, with clock semantics identical to the sequential
+// multiplexer so window-mode runs stay bit-identical. It returns the
+// number of events fired.
+func (e *Engine) RunWindow(limit Time) uint64 {
+	start := e.fired
+	for !e.stopped {
+		s := e.nextLive()
+		if s == nil || s.when >= limit {
+			break
+		}
+		e.fire(s)
 	}
 	return e.fired - start
 }
