@@ -23,13 +23,15 @@ race-core:
 	$(GO) test -race ./internal/sim/... ./internal/net/... ./internal/machine/...
 
 # lint is the CI formatting/static gate, reproducible locally: gofmt
-# must report no files, vet must pass, and every exported identifier in
-# the core packages must carry a doc comment (cmd/docgate).
+# must report no files, vet must pass, every exported identifier in the
+# core packages must carry a doc comment, and ARCHITECTURE.md's package
+# table must cover every internal/ package (cmd/docgate -arch).
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/docgate ./internal/sim ./internal/metrics ./internal/faults ./internal/kernel
+	$(GO) run ./cmd/docgate -arch ARCHITECTURE.md -internal internal \
+		./internal/sim ./internal/metrics ./internal/faults ./internal/kernel ./internal/serve
 
 # obscheck is the observability gate: the metrics snapshot must be
 # deterministic across same-seed runs, the Perfetto trace export must
@@ -46,7 +48,11 @@ lint:
 # The conservative parallel engine carries the strongest form of the
 # contract: same-seed artifacts must be byte-identical sequential vs
 # parallel (3 and 8 nodes) and parallel vs parallel (8 nodes), so the
-# goroutine schedule leaves no fingerprint.
+# goroutine schedule leaves no fingerprint. The ephemeral-VM serving
+# sweep closes the list: khsim serve -check must hold its invariants
+# (end-to-end job flow, fully signed pool ledger, warm fork beating
+# cold boot) and two same-seed sweeps must write byte-identical
+# artifacts.
 obscheck: build
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/khsim metrics -config kitten -bench stream -seed 1 > "$$tmp/a.metrics" && \
@@ -69,6 +75,9 @@ obscheck: build
 	$(GO) run ./cmd/khsim cluster -seed 1 -nodes 8 -parallel -artifact "$$tmp/p8b.cluster" > /dev/null && \
 	cmp "$$tmp/s8.cluster" "$$tmp/p8a.cluster" || { echo "obscheck: 8-node parallel run diverges from sequential"; exit 1; }; \
 	cmp "$$tmp/p8a.cluster" "$$tmp/p8b.cluster" || { echo "obscheck: 8-node parallel runs diverge from each other"; exit 1; }; \
+	$(GO) run ./cmd/khsim serve -seed 1 -check -artifact "$$tmp/a.serve" > /dev/null && \
+	$(GO) run ./cmd/khsim serve -seed 1 -check -artifact "$$tmp/b.serve" > /dev/null && \
+	cmp "$$tmp/a.serve" "$$tmp/b.serve" || { echo "obscheck: serving artifact not deterministic"; exit 1; }; \
 	echo "obscheck: ok"
 
 # check is the full pre-merge gate: build, vet, the test suite under the

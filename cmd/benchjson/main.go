@@ -1,4 +1,4 @@
-// Command benchjson measures discrete-event engine throughput on four
+// Command benchjson measures discrete-event engine throughput on eight
 // representative simulator scenarios and records the results as
 // machine-readable JSON (BENCH_sim.json at the repo root; `make bench`).
 //
@@ -37,6 +37,15 @@
 //	                 ≥ 4; narrower hosts (including a 1-CPU container,
 //	                 where conservative windowing has no cores to use)
 //	                 enforce only the determinism identity.
+//	serving          the multi-tenant ephemeral-VM serving sweep (both
+//	                 primary kernels across every arrival rate), measured
+//	                 end to end. The run itself enforces byte-identical
+//	                 same-seed artifacts; the file carries a "serving"
+//	                 block with the p50/p99/p999 latency-vs-rate table
+//	                 and the warm-vs-cold prepare means. -check requires
+//	                 the warm fork to beat the cold boot (the
+//	                 environment-reuse win; simulated time, so the gate
+//	                 is machine-independent).
 //
 // Reported per scenario: ns/event (wall nanoseconds per simulation event,
 // best of -reps), events/sec, allocs/event (Go heap allocations per event
@@ -75,6 +84,7 @@ import (
 	"khsim/internal/harness"
 	"khsim/internal/kitten"
 	"khsim/internal/noise"
+	"khsim/internal/serve"
 	"khsim/internal/sim"
 	"khsim/internal/workload"
 )
@@ -144,6 +154,33 @@ type ParallelResult struct {
 	Cells []ParallelCell `json:"cells"`
 }
 
+// ServingCellResult is one (primary kernel, arrival rate) cell of the
+// ephemeral-VM serving sweep: admission-to-completion latency
+// percentiles (pure simulated time, machine-independent) and the
+// prepare-path split the reuse gate compares.
+type ServingCellResult struct {
+	Primary        string  `json:"primary"`
+	Rate           float64 `json:"rate_jobs_per_sec"`
+	Completed      int     `json:"completed"`
+	P50US          float64 `json:"p50_us"`
+	P99US          float64 `json:"p99_us"`
+	P999US         float64 `json:"p999_us"`
+	WarmPrepares   int     `json:"warm_prepares"`
+	ColdPrepares   int     `json:"cold_prepares"`
+	MeanWarmPrepUS float64 `json:"mean_warm_prep_us"`
+	MeanColdPrepUS float64 `json:"mean_cold_prep_us"`
+}
+
+// ServingResult is the BENCH file's serving block: the latency-vs-rate
+// table for both primary kernels plus the sweep-wide prepare means the
+// reuse-win gate (-check: warm fork must beat cold boot) compares.
+type ServingResult struct {
+	Cells          []ServingCellResult `json:"cells"`
+	MeanWarmPrepUS float64             `json:"mean_warm_prep_us"`
+	MeanColdPrepUS float64             `json:"mean_cold_prep_us"`
+	WarmOverCold   float64             `json:"cold_prep_over_warm"`
+}
+
 // Baseline is a pinned historical run kept for trajectory comparison.
 type Baseline struct {
 	Label     string                    `json:"label"`
@@ -163,6 +200,7 @@ type File struct {
 	Fork         *ForkResult               `json:"snapshot-fork,omitempty"`
 	Migration    *MigrationResult          `json:"migration,omitempty"`
 	Parallel     *ParallelResult           `json:"cluster-parallel,omitempty"`
+	Serving      *ServingResult            `json:"serving,omitempty"`
 	Scenarios    map[string]ScenarioResult `json:"scenarios"`
 }
 
@@ -665,6 +703,82 @@ func migrationScenario() (measure, error) {
 	return measure{events: events, allocs: m1.Mallocs - m0.Mallocs, wall: wall, simDur: simDur}, nil
 }
 
+// servingBlock carries the latest serving sweep's latency-vs-rate table
+// and the sweep-wide prepare means the -check reuse-win gate compares.
+var servingBlock *ServingResult
+
+// servingScenario: the ephemeral-VM serving sweep (both primary kernels
+// across every arrival rate, a fresh whole-stack boot per cell) measured
+// end to end. The sweep runs twice with the same seed in this process
+// and the two artifacts must match byte for byte — the obscheck identity
+// enforced in the run itself, like cluster-parallel's mode identity —
+// before the block records the latency table and the warm-vs-cold
+// prepare means. Latencies and prepare costs are pure simulated time,
+// so the reuse-win gate is machine-independent.
+func servingScenario() (measure, error) {
+	cfg, err := serve.ParseManifest(harness.ServingManifestText)
+	if err != nil {
+		return measure{}, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	rep, err := harness.RunServingSweep(7)
+	if err != nil {
+		return measure{}, err
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	rerun, err := harness.RunServingSweep(7)
+	if err != nil {
+		return measure{}, err
+	}
+	if rep.Artifact() != rerun.Artifact() {
+		return measure{}, fmt.Errorf("serving: DETERMINISM: same-seed sweep artifacts differ")
+	}
+	if err := rep.Check(); err != nil {
+		return measure{}, fmt.Errorf("serving properties: %w", err)
+	}
+	sb := &ServingResult{}
+	var events uint64
+	var simDur sim.Duration
+	var warmN, coldN int
+	var warmSum, coldSum float64
+	for _, c := range rep.Cells {
+		events += c.Report.EventsFired
+		simDur += cfg.Run + cfg.Drain
+		s := c.Report.Stats
+		warmN += s.WarmPrepares
+		coldN += s.ColdPrepares
+		warmSum += c.Report.MeanWarmPrepUS * float64(s.WarmPrepares)
+		coldSum += c.Report.MeanColdPrepUS * float64(s.ColdPrepares)
+		sb.Cells = append(sb.Cells, ServingCellResult{
+			Primary:        c.Primary,
+			Rate:           c.Rate,
+			Completed:      s.Completed,
+			P50US:          c.Report.P50,
+			P99US:          c.Report.P99,
+			P999US:         c.Report.P999,
+			WarmPrepares:   s.WarmPrepares,
+			ColdPrepares:   s.ColdPrepares,
+			MeanWarmPrepUS: c.Report.MeanWarmPrepUS,
+			MeanColdPrepUS: c.Report.MeanColdPrepUS,
+		})
+	}
+	if warmN > 0 {
+		sb.MeanWarmPrepUS = warmSum / float64(warmN)
+	}
+	if coldN > 0 {
+		sb.MeanColdPrepUS = coldSum / float64(coldN)
+	}
+	if sb.MeanWarmPrepUS > 0 {
+		sb.WarmOverCold = sb.MeanColdPrepUS / sb.MeanWarmPrepUS
+	}
+	servingBlock = sb
+	return measure{events: events, allocs: m1.Mallocs - m0.Mallocs, wall: wall, simDur: simDur}, nil
+}
+
 var scenarios = []struct {
 	name string
 	run  func() (measure, error)
@@ -676,6 +790,7 @@ var scenarios = []struct {
 	{"snapshot-fork", forkScenario},
 	{"migration", migrationScenario},
 	{"cluster-parallel", clusterParallelScenario},
+	{"serving", servingScenario},
 }
 
 // runAll measures every scenario reps times. Recording (median=true)
@@ -838,6 +953,19 @@ func main() {
 				}
 			}
 		}
+		if ref.Serving != nil {
+			if servingBlock == nil {
+				fmt.Fprintln(os.Stderr, "benchjson: serving block committed but no serving sweep ran")
+				failed = true
+			} else if servingBlock.MeanWarmPrepUS >= servingBlock.MeanColdPrepUS {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION serving: warm fork %.1f µs >= cold boot %.1f µs — the reuse win is gone\n",
+					servingBlock.MeanWarmPrepUS, servingBlock.MeanColdPrepUS)
+				failed = true
+			} else {
+				fmt.Printf("check serving          ok: warm fork %.1f µs vs cold boot %.1f µs (%.1f×) across %d cells\n",
+					servingBlock.MeanWarmPrepUS, servingBlock.MeanColdPrepUS, servingBlock.WarmOverCold, len(servingBlock.Cells))
+			}
+		}
 		if failed {
 			os.Exit(1)
 		}
@@ -852,6 +980,7 @@ func main() {
 			Fork:         forkBlock,
 			Migration:    migrationBlock,
 			Parallel:     parallelBlock,
+			Serving:      servingBlock,
 			Scenarios:    results,
 		}
 		if prev, err := readFile(*out); err == nil {

@@ -7,9 +7,17 @@
 // Grouped declarations follow godoc convention: a doc comment on the
 // `const (...)` / `var (...)` block covers every spec inside it, and a
 // comment on an individual spec covers that spec.
+//
+// With -arch FILE it additionally enforces the architecture doc's
+// package table: every first-level package directory under -internal
+// (default "internal") that contains Go code anywhere in its tree must
+// be mentioned in FILE as `internal/<name>`. A package added without a
+// row in ARCHITECTURE.md fails `make lint`, so the doc cannot silently
+// fall behind the tree.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -109,14 +117,59 @@ func receiverTypeName(t ast.Expr) string {
 	}
 }
 
+// hasGoCode reports whether dir (or any subdirectory) holds a non-test
+// Go source file.
+func hasGoCode(dir string) bool {
+	found := false
+	filepath.Walk(dir, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || found {
+			return filepath.SkipDir
+		}
+		if !fi.IsDir() && strings.HasSuffix(fi.Name(), ".go") && !strings.HasSuffix(fi.Name(), "_test.go") {
+			found = true
+		}
+		return nil
+	})
+	return found
+}
+
+// checkArch enforces the architecture doc's package table: every
+// first-level package directory under root with Go code in its tree
+// must appear in the doc as `internal/<name>`.
+func checkArch(archPath, root string) []string {
+	doc, err := os.ReadFile(archPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docgate:", err)
+		os.Exit(2)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docgate:", err)
+		os.Exit(2)
+	}
+	var absent []string
+	for _, e := range entries {
+		if !e.IsDir() || !hasGoCode(filepath.Join(root, e.Name())) {
+			continue
+		}
+		if !strings.Contains(string(doc), "internal/"+e.Name()) {
+			absent = append(absent, "internal/"+e.Name())
+		}
+	}
+	return absent
+}
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: docgate DIR [DIR...]")
+	arch := flag.String("arch", "", "architecture doc whose package table must cover every -internal package")
+	internalRoot := flag.String("internal", "internal", "package root scanned for the -arch table check")
+	flag.Parse()
+	if *arch == "" && flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: docgate [-arch FILE [-internal DIR]] [DIR...]")
 		os.Exit(2)
 	}
 	fset := token.NewFileSet()
 	var all []missing
-	for _, dir := range os.Args[1:] {
+	for _, dir := range flag.Args() {
 		ms, err := checkDir(fset, filepath.Clean(dir))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "docgate:", err)
@@ -124,11 +177,24 @@ func main() {
 		}
 		all = append(all, ms...)
 	}
+	failed := false
 	if len(all) > 0 {
 		for _, m := range all {
 			fmt.Fprintf(os.Stderr, "%s: undocumented exported %s %s\n", m.pos, m.what, m.name)
 		}
 		fmt.Fprintf(os.Stderr, "docgate: %d undocumented exported identifiers\n", len(all))
+		failed = true
+	}
+	if *arch != "" {
+		if absent := checkArch(*arch, *internalRoot); len(absent) > 0 {
+			for _, pkg := range absent {
+				fmt.Fprintf(os.Stderr, "%s: package %s missing from the package table\n", *arch, pkg)
+			}
+			fmt.Fprintf(os.Stderr, "docgate: %d packages absent from %s\n", len(absent), *arch)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("docgate: ok")

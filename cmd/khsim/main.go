@@ -11,6 +11,7 @@
 //	khsim trace [-config native|kitten|linux] [-bench NAME] [-seed S] [-format perfetto|tsv] [-out FILE] [-check]
 //	khsim snapshot [-seed S] [-artifact FILE] [-check] [-sweep [-delays LIST] [-window-ms N]]
 //	khsim migrate [-seed S] [-artifact FILE] [-check]
+//	khsim serve [-manifest FILE] [-seed S] [-artifact FILE] [-check]
 //
 // With no manifest the paper's evaluation partition plan is used. Bench
 // names: hpcg, stream, randomaccess, nas-lu, nas-bt, nas-cg, nas-ep,
@@ -52,6 +53,14 @@
 // exactly one live copy (rolled back at the source), with every
 // lifecycle step as a signed record in the replicated attestation
 // ledger.
+//
+// The serve subcommand runs the multi-tenant ephemeral-VM serving sweep:
+// an open-loop job stream admitted through the login VM into a pool of
+// recycled environment VMs (warm stage-2 fork vs cold rebuild), swept
+// across arrival rates under both primary kernels, reporting
+// p50/p99/p999 admission-to-completion latency per rate with every pool
+// transition signed into the attestation ledger (see
+// manifests/serving.manifest).
 package main
 
 import (
@@ -267,6 +276,9 @@ func main() {
 			return
 		case "migrate":
 			migrateCmd(os.Args[2:])
+			return
+		case "serve":
+			serveCmd(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"khsim/internal/harness"
+)
+
+// serveCmd implements `khsim serve`: the multi-tenant ephemeral-VM
+// serving sweep. An open-loop job stream (seeded arrival process,
+// rate-swept) is admitted through the super-secondary login VM and
+// dispatched into a pool of secondary environment VMs that are prepared
+// once — warm fork from the boot-time stage-2 snapshot when the pool
+// budget allows, cold rebuild otherwise — and reused until a TTL reaper
+// retires them; crashes requeue the in-flight job and the watchdog
+// replaces the environment. The sweep runs every arrival rate under both
+// primary kernels (kitten and linux) and prints the latency-vs-rate
+// table. -check exits non-zero unless every cell flowed end to end with
+// a fully signed pool ledger and the warm fork beat the cold boot;
+// -artifact writes the byte-comparable artifact (the obscheck serving
+// gate runs the command twice with the same seed and compares files).
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed (same seed, same artifact)")
+	manifestPath := fs.String("manifest", "", "serving manifest file (default: built-in sweep)")
+	artifact := fs.String("artifact", "", "write the deterministic experiment artifact to FILE")
+	check := fs.Bool("check", false, "exit non-zero unless the serving invariants hold")
+	fs.Parse(args)
+
+	text := harness.ServingManifestText
+	if *manifestPath != "" {
+		b, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			fail(err)
+		}
+		text = string(b)
+	}
+	rep, err := harness.RunServingManifest(text, *seed)
+	if err != nil {
+		fail(err)
+	}
+	if *artifact != "" {
+		if err := os.WriteFile(*artifact, []byte(rep.Artifact()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Print(rep.String())
+	if *check {
+		if err := rep.Check(); err != nil {
+			fail(err)
+		}
+	}
+}

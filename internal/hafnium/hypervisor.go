@@ -38,6 +38,12 @@ type Stats struct {
 	// MigrationAborts counts migrations rolled back to this (source) node
 	// after a failed transfer.
 	MigrationAborts uint64
+	// RecyclesWarm counts stopped VMs recycled by rewinding the live
+	// stage-2 table to the boot-time warm snapshot (serving-pool reuse).
+	RecyclesWarm uint64
+	// RecyclesCold counts stopped VMs recycled with a full cold stage-2
+	// rebuild (no warm image, or the caller declined the warm path).
+	RecyclesCold uint64
 }
 
 // Hypervisor is the EL2 secure partition manager instance for one node.
@@ -637,7 +643,12 @@ func (h *Hypervisor) RunVCPU(c *machine.Core, vc *VCPU) error {
 		} else if len(frames) > 0 {
 			c.RestoreStack(frames)
 		}
-		if len(vc.pending) > 0 {
+		// Boot may already have exited the VCPU: a guest that parks
+		// itself at boot while a doorbell is pending blocks, converts to
+		// a yield (FFA semantics) and is descheduled by the time control
+		// returns here. The virq then belongs to the next entry — it must
+		// not be injected into a context that is no longer resident.
+		if vc.core == id && len(vc.pending) > 0 {
 			c.CallHandler(func(c *machine.Core) { h.drainPending(c, vc) })
 		}
 	})
@@ -826,7 +837,19 @@ func (h *Hypervisor) msgSend(from, to VMID, payload []byte) error {
 	if dst.spec.Class == Primary {
 		// Notify the primary with a mailbox SGI on core 0; if a guest is
 		// resident there, the SGI world-switches it out like any
-		// primary-owned interrupt.
+		// primary-owned interrupt. One exception: the sender itself may
+		// be that resident guest. Hardware takes the physical interrupt
+		// only after the hypercall's ERET, so the switch-out must not
+		// fire inside the caller's own hypercall sequence — deliver the
+		// SGI once the current instant's guest work has unwound (by
+		// which point a send-then-wait caller has parked and core 0 is
+		// free for the primary).
+		if cur := h.cur[0]; cur != nil && cur.vm == src {
+			h.node.Engine.AfterNamed(0, "el2.sgi.self", func() {
+				_ = h.node.GIC.SendSGI(0, VIRQMailbox)
+			})
+			return nil
+		}
 		if err := h.node.GIC.SendSGI(0, VIRQMailbox); err != nil {
 			return err
 		}

@@ -7,11 +7,13 @@ package hafnium
 // heartbeat proposals.
 type LifecycleEvent struct {
 	// Kind is the transition: "crash", "restart", "snapshot-restore" (a
-	// restart served from the boot-time warm snapshot), "quarantine", or
+	// restart served from the boot-time warm snapshot), "quarantine",
 	// one of the live-migration transitions — "migrate-out" (image
 	// released here after committing on the destination), "migrate-in"
 	// (image admitted and resumed here), "migrate-abort" (transfer failed;
-	// the VM rolled back and resumed here).
+	// the VM rolled back and resumed here) — or one of the serving-pool
+	// recycle transitions, "recycle-warm" (stage-2 rewound to the warm
+	// copy-on-write snapshot) and "recycle-cold" (full table rebuild).
 	Kind string
 	// VM is the partition's manifest name.
 	VM string

@@ -162,9 +162,10 @@ func TestShippedManifestsParse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if strings.Contains(string(b), "[cluster]") {
-			// Cluster manifests embed a VM plan but carry extra sections;
-			// internal/cluster's parser (and its tests) own those.
+		if strings.Contains(string(b), "[cluster]") || strings.Contains(string(b), "[serve]") {
+			// Cluster and serving manifests embed a VM plan but carry
+			// extra sections; internal/cluster's and internal/serve's
+			// parsers (and their tests) own those.
 			continue
 		}
 		m, err := ParseManifest(string(b))

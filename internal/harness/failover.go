@@ -13,6 +13,7 @@ import (
 	"khsim/internal/net"
 	"khsim/internal/noise"
 	"khsim/internal/sim"
+	"khsim/internal/tz"
 )
 
 // ClusterManifestText is the built-in 3-node failover scenario (the same
@@ -102,6 +103,16 @@ type FailoverReport struct {
 	Converged        bool // identical logs, commit == len, chains verify
 	ChainErrs        []string
 
+	// Signed-proposal accounting: every payload a node offers the
+	// replicated ledger is signed by that node's TEE identity and
+	// verified before it is proposed. SignedEntries / UnsignedEntries
+	// classify what actually replicated — an unsigned committed entry
+	// means something bypassed the signing path.
+	SigVerified     uint64
+	SigFailed       uint64
+	SignedEntries   uint64
+	UnsignedEntries uint64
+
 	Fabric      net.Stats
 	Injected    faults.Stats
 	EventsFired uint64
@@ -141,6 +152,12 @@ func (r *FailoverReport) Check() error {
 	}
 	if !r.Converged {
 		return fmt.Errorf("failover: replicas did not converge (lens=%v commits=%v)", r.LogLens, r.Commits)
+	}
+	if r.SigFailed > 0 || r.SigVerified == 0 {
+		return fmt.Errorf("failover: signed proposals: %d verified, %d failed", r.SigVerified, r.SigFailed)
+	}
+	if r.UnsignedEntries > 0 {
+		return fmt.Errorf("failover: %d replicated entries carry no signature", r.UnsignedEntries)
 	}
 	return nil
 }
@@ -183,6 +200,8 @@ func (r *FailoverReport) Summary() string {
 			i, r.LogLens[i], r.Commits[i], r.Restarts[i], r.VMStates[i])
 	}
 	fmt.Fprintf(&b, "prefix-consistent=%v converged=%v\n", r.PrefixConsistent, r.Converged)
+	fmt.Fprintf(&b, "signed proposals: verified=%d failed=%d replicated-signed=%d unsigned=%d\n",
+		r.SigVerified, r.SigFailed, r.SignedEntries, r.UnsignedEntries)
 	fmt.Fprintf(&b, "fabric: sent=%d delivered=%d dropped=%d (partition=%d in-flight=%d injected=%d) delayed=%d\n",
 		r.Fabric.Sent, r.Fabric.Delivered, r.Fabric.Dropped(), r.Fabric.DroppedPartition,
 		r.Fabric.DroppedPartitionInFlight, r.Fabric.DroppedInjected, r.Fabric.DelayedInjected)
@@ -333,6 +352,28 @@ func RunClusterManifestMode(m *cluster.ClusterManifest, seed uint64, parallel bo
 		})
 	}
 
+	// Per-node signing identities; every node knows every public key, as
+	// the launch path would distribute them. Every payload a node offers
+	// the replicated ledger — boot quote, periodic re-attestation,
+	// lifecycle transition — is signed by that node's TEE identity and
+	// verified before it leaves the node, so an unsigned (or forged)
+	// proposal can never enter the shared log.
+	signers := make([]*tz.Signer, m.Nodes)
+	pubs := make([][]byte, m.Nodes)
+	for i := range signers {
+		signers[i] = tz.NewSigner(seed, i)
+		pubs[i] = signers[i].Public()
+	}
+	signedPropose := func(id int, payload []byte) {
+		rec := tz.SignRecord(signers[id], id, payload)
+		if err := rec.Verify(pubs[id]); err != nil {
+			rep.SigFailed++
+			return
+		}
+		rep.SigVerified++
+		svc.Propose(id, []byte(fmt.Sprintf("%s sig=%x", payload, rec.Sig[:8])))
+	}
+
 	// Proposal load: real attestation evidence, not synthetic counters.
 	// Each node's first proposal carries its measured-boot quote; every
 	// subsequent one re-attests the node-local lifecycle ledger (length,
@@ -353,11 +394,11 @@ func RunClusterManifestMode(m *cluster.ClusterManifest, seed uint64, parallel bo
 				booted = true
 				att, err := n.Attestation()
 				if err == nil {
-					svc.Propose(id, []byte(fmt.Sprintf("boot n%d pcr=%x", id, att.PCR[:8])))
+					signedPropose(id, []byte(fmt.Sprintf("boot n%d pcr=%x", id, att.PCR[:8])))
 				}
 			} else {
 				head := n.AttestLog.Head()
-				svc.Propose(id, []byte(fmt.Sprintf("attest n%d ledger=%d head=%x restarts=%d",
+				signedPropose(id, []byte(fmt.Sprintf("attest n%d ledger=%d head=%x restarts=%d",
 					id, n.AttestLog.Len(), head[:8], replicaVMs[id].Restarts())))
 			}
 			eng.AfterNamed(m.ProposeEvery, "failover.propose", tick)
@@ -374,7 +415,7 @@ func RunClusterManifestMode(m *cluster.ClusterManifest, seed uint64, parallel bo
 			if eng.Now() > stopAt {
 				return
 			}
-			svc.Propose(id, []byte(fmt.Sprintf("lifecycle n%d %s vm=%s restarts=%d",
+			signedPropose(id, []byte(fmt.Sprintf("lifecycle n%d %s vm=%s restarts=%d",
 				id, ev.Kind, ev.VM, ev.Restarts)))
 		}
 	}
@@ -488,6 +529,20 @@ func RunClusterManifestMode(m *cluster.ClusterManifest, seed uint64, parallel bo
 		}
 	}
 	logs := svc.Logs()
+	// Classify what replicated: every node-originated payload must carry
+	// the signature suffix the signing path stamps. The raft layer's own
+	// leader no-op entries ("leader nX term T") are protocol bookkeeping,
+	// not node proposals, and are exempt.
+	for _, r := range logs[0].Slice(0, logs[0].Len()) {
+		payload := string(r.Payload)
+		switch {
+		case strings.HasPrefix(payload, "leader n"):
+		case strings.Contains(payload, " sig="):
+			rep.SignedEntries++
+		default:
+			rep.UnsignedEntries++
+		}
+	}
 	rep.PrefixConsistent = svc.PrefixConsistent()
 	rep.Converged = true
 	for i, l := range logs {

@@ -106,6 +106,34 @@ func TestClusterFailoverAcrossSeeds(t *testing.T) {
 	}
 }
 
+// TestClusterFailoverSignedProposals pins the signed-ledger contract:
+// every payload a node proposed was signed by its TEE identity and
+// verified record-by-record before leaving the node, nothing failed
+// verification, and everything that replicated carries the signature.
+func TestClusterFailoverSignedProposals(t *testing.T) {
+	r, err := RunClusterFailover(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SigVerified == 0 {
+		t.Fatal("no proposal went through the signing path")
+	}
+	if r.SigFailed != 0 {
+		t.Fatalf("%d proposals failed per-record verification", r.SigFailed)
+	}
+	if r.UnsignedEntries != 0 {
+		t.Fatalf("%d unsigned entries reached the replicated ledger", r.UnsignedEntries)
+	}
+	if r.SignedEntries == 0 {
+		t.Fatal("no signed entry replicated")
+	}
+	// Proposals can outnumber commits (a crashed node's proposal drops),
+	// never the reverse.
+	if r.SignedEntries > r.SigVerified {
+		t.Fatalf("replicated %d signed entries from only %d verified proposals", r.SignedEntries, r.SigVerified)
+	}
+}
+
 // TestClusterManifestStaticTargets drives the injector path: static
 // node<N> network faults route through faults.Injector rules.
 func TestClusterManifestStaticTargets(t *testing.T) {

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"khsim/internal/serve"
+)
+
+// TestShippedServingManifest keeps manifests/serving.manifest in sync
+// with the built-in scenario: same parse, same plan, same rates.
+func TestShippedServingManifest(t *testing.T) {
+	b, err := os.ReadFile("../../manifests/serving.manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped, err := serve.ParseManifest(string(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, err := serve.ParseManifest(ServingManifestText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped.NodePlan != builtin.NodePlan || len(shipped.Rates) != len(builtin.Rates) ||
+		shipped.TTL != builtin.TTL || shipped.WarmPool != builtin.WarmPool {
+		t.Fatal("shipped serving manifest drifted from the built-in scenario")
+	}
+}
+
+// TestServingSweep is the headline serving experiment: both primary
+// kernels, every arrival rate, jobs flowing end to end through the
+// login-VM admission hop into the recycled environment pool, with the
+// warm fork beating the cold boot across the sweep.
+func TestServingSweep(t *testing.T) {
+	r, err := RunServingSweep(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, r.Summary())
+	}
+	if len(r.Cells) != 2*len(r.Rates) {
+		t.Fatalf("sweep produced %d cells for %d rates", len(r.Cells), len(r.Rates))
+	}
+	// Higher arrival rates must complete more jobs within the fixed run
+	// window, for both primaries.
+	for _, prim := range []string{"kitten", "linux"} {
+		last := -1
+		for _, c := range r.Cells {
+			if c.Primary != prim {
+				continue
+			}
+			if c.Report.Stats.Completed <= last {
+				t.Fatalf("%s: completions not increasing with rate:\n%s", prim, r.Summary())
+			}
+			last = c.Report.Stats.Completed
+		}
+	}
+}
+
+// TestServingSweepSignedLedger pins the signed-pool contract in the
+// sweep: every cell's boot/reap/crash records went through the TEE
+// signing path and verified record by record.
+func TestServingSweepSignedLedger(t *testing.T) {
+	r, err := RunServingSweep(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Cells {
+		s := c.Report.Stats
+		if s.SigVerified == 0 {
+			t.Fatalf("cell %s/%g: no record went through the signing path", c.Primary, c.Rate)
+		}
+		if s.SigFailed != 0 {
+			t.Fatalf("cell %s/%g: %d records failed verification", c.Primary, c.Rate, s.SigFailed)
+		}
+		if c.Report.LedgerLen == 0 {
+			t.Fatalf("cell %s/%g: empty attestation ledger", c.Primary, c.Rate)
+		}
+	}
+}
+
+// TestServingSweepDeterministic is the observability gate in test form:
+// two same-seed sweeps must produce byte-identical artifacts, and a
+// different seed must not.
+func TestServingSweepDeterministic(t *testing.T) {
+	a, err := RunServingSweep(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunServingSweep(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Artifact() != b.Artifact() {
+		t.Fatal("same-seed serving artifacts differ")
+	}
+	c, err := RunServingSweep(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Artifact() == c.Artifact() {
+		t.Fatal("different seeds produced identical serving artifacts")
+	}
+	if !strings.Contains(a.Artifact(), "cell primary=linux") {
+		t.Fatal("artifact lost the linux half of the sweep")
+	}
+}

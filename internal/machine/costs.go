@@ -37,6 +37,18 @@ type Costs struct {
 	IRQDeliverGIC sim.Duration
 	// SMC is a secure monitor call round trip through EL3.
 	SMC sim.Duration
+	// S2MapPage is the per-page cost of building a stage-2 mapping from
+	// scratch during a cold VM prepare: allocating/walking the table
+	// levels amortized per leaf entry plus the descriptor write-back.
+	S2MapPage sim.Duration
+	// S2RestorePage is the per-dirtied-page cost of rewinding a live
+	// stage-2 table to its copy-on-write warm snapshot: only descriptors
+	// the VM dirtied since the snapshot are touched, so a warm prepare
+	// pays this for the working set instead of S2MapPage for every page.
+	S2RestorePage sim.Duration
+	// PageScrub is the per-page cost of zeroing a 4 KiB frame with
+	// streaming stores before it is handed to the next tenant.
+	PageScrub sim.Duration
 }
 
 // DefaultFreq is the Pine A64-LTS Cortex-A53 clock used throughout the
@@ -56,6 +68,9 @@ func DefaultCosts(f sim.Hertz) Costs {
 		IPI:             cy(450),
 		IRQDeliverGIC:   cy(220),
 		SMC:             cy(900),
+		S2MapPage:       cy(180),
+		S2RestorePage:   cy(120),
+		PageScrub:       cy(1100),
 	}
 }
 

@@ -145,6 +145,37 @@ func (h *Histogram) Observe(v float64) {
 // Total reports observations including under/overflow.
 func (h *Histogram) Total() uint64 { return h.observed }
 
+// Quantile estimates the p-th percentile (0 ≤ p ≤ 100) from the bucket
+// counts by linear interpolation inside the bucket holding the target
+// rank. Underflow observations clamp to Lo and overflow to Hi — a
+// histogram can only bound what left its range, so size [Lo,Hi) to the
+// tail being asked about. Reports (0, false) with no observations.
+func (h *Histogram) Quantile(p float64) (float64, bool) {
+	if h.observed == 0 {
+		return 0, false
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(h.observed)
+	cum := float64(h.under)
+	if rank <= cum {
+		return h.Lo, true
+	}
+	for i, n := range h.buckets {
+		next := cum + float64(n)
+		if rank <= next && n > 0 {
+			frac := (rank - cum) / float64(n)
+			return h.Lo + (float64(i)+frac)*h.width, true
+		}
+		cum = next
+	}
+	return h.Hi, true
+}
+
 // Buckets returns a copy of the bucket counts.
 func (h *Histogram) Buckets() []uint64 {
 	out := make([]uint64, len(h.buckets))

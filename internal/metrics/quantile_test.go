@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(K("test", "lat"), 0, 100, 100)
+	if _, ok := h.Quantile(50); ok {
+		t.Fatal("empty histogram reported a quantile")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5) // one observation per bucket
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{50, 50}, {99, 99}, {100, 100}, {0, 0},
+	} {
+		got, ok := h.Quantile(tc.p)
+		if !ok || math.Abs(got-tc.want) > 1 {
+			t.Fatalf("Quantile(%g) = %g, %v; want ~%g", tc.p, got, ok, tc.want)
+		}
+	}
+	// Quantiles must be monotone in p.
+	prev := -1.0
+	for p := 0.0; p <= 100; p += 2.5 {
+		q, _ := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone: q(%g)=%g < %g", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistogramQuantileOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(K("test", "lat"), 10, 20, 10)
+	h.Observe(5)   // underflow
+	h.Observe(15)  // in range
+	h.Observe(100) // overflow
+	if q, ok := h.Quantile(0); !ok || q != 10 {
+		t.Fatalf("p0 = %g, %v; want clamp to Lo", q, ok)
+	}
+	if q, ok := h.Quantile(100); !ok || q != 20 {
+		t.Fatalf("p100 = %g, %v; want clamp to Hi", q, ok)
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one serving run's deterministic summary: counters, the
+// latency distribution, the prepare-path split, and the ledger evidence.
+// Same seed, same report — byte for byte.
+type Report struct {
+	// Rate is the arrival rate the cell ran at (jobs/second).
+	Rate float64
+	// Stats are the pool counters.
+	Stats PoolStats
+	// P50 / P95 / P99 / P999 are admission-to-completion latency
+	// percentiles in microseconds; Mean is the average.
+	P50, P95, P99, P999, Mean float64
+	// MeanWarmPrepUS / MeanColdPrepUS are the average environment prepare
+	// times by path, in microseconds (0 when the path never ran).
+	MeanWarmPrepUS float64
+	MeanColdPrepUS float64
+	// LedgerLen / LedgerHead are the node attestation ledger's length and
+	// head hash after the run.
+	LedgerLen  uint64
+	LedgerHead string
+	// EventsFired is the engine's event count — the whole-run fingerprint
+	// the determinism gate compares.
+	EventsFired uint64
+}
+
+// Report summarizes the pool after the run has drained.
+func (p *Pool) Report() Report {
+	pct := func(q float64) float64 {
+		if p.Latency.N() == 0 {
+			return 0
+		}
+		return p.Latency.Percentile(q)
+	}
+	r := Report{
+		Rate:  p.rate,
+		Stats: p.Stats(),
+		Mean:  p.Latency.Mean(),
+		P50:   pct(50),
+		P95:   pct(95),
+		P99:   pct(99),
+		P999:  pct(99.9),
+
+		MeanWarmPrepUS: p.WarmPrep.Mean(),
+		MeanColdPrepUS: p.ColdPrep.Mean(),
+		LedgerLen:      p.node.AttestLog.Len(),
+		LedgerHead:     fmt.Sprintf("%x", p.node.AttestLog.Head()),
+		EventsFired:    p.eng.Fired(),
+	}
+	return r
+}
+
+// Check enforces one cell's invariants: jobs flowed end to end, the
+// counter pipeline is conserved, every pool ledger record carried a
+// verifying signature, the latency percentiles are monotone, and — when
+// both prepare paths ran — the warm rewind beat the cold rebuild (the
+// environment-reuse win the design exists for).
+func (r Report) Check() error {
+	s := r.Stats
+	if s.Completed == 0 {
+		return fmt.Errorf("serve: no job completed at rate %g", r.Rate)
+	}
+	if s.Admitted > s.Generated || s.Completed > s.Admitted {
+		return fmt.Errorf("serve: counter pipeline broken: generated %d >= admitted %d >= completed %d violated",
+			s.Generated, s.Admitted, s.Completed)
+	}
+	if s.SigFailed > 0 || s.SigVerified == 0 {
+		return fmt.Errorf("serve: ledger signatures: %d verified, %d failed", s.SigVerified, s.SigFailed)
+	}
+	if !(r.P50 <= r.P95 && r.P95 <= r.P99 && r.P99 <= r.P999) {
+		return fmt.Errorf("serve: latency percentiles not monotone: p50=%g p95=%g p99=%g p999=%g",
+			r.P50, r.P95, r.P99, r.P999)
+	}
+	if s.WarmPrepares > 0 && s.ColdPrepares > 0 && r.MeanWarmPrepUS >= r.MeanColdPrepUS {
+		return fmt.Errorf("serve: no reuse win: warm prepare %.1fµs >= cold prepare %.1fµs",
+			r.MeanWarmPrepUS, r.MeanColdPrepUS)
+	}
+	if s.WarmPrepares == 0 && s.ColdPrepares == 0 {
+		return fmt.Errorf("serve: no environment was ever prepared")
+	}
+	return nil
+}
+
+// Format renders the report as the stable text block the CLI artifact
+// embeds.
+func (r Report) Format() string {
+	var b strings.Builder
+	s := r.Stats
+	fmt.Fprintf(&b, "rate=%g jobs/s\n", r.Rate)
+	fmt.Fprintf(&b, "jobs: generated=%d admitted=%d completed=%d replayed=%d dropped=%d\n",
+		s.Generated, s.Admitted, s.Completed, s.Replayed, s.Dropped)
+	fmt.Fprintf(&b, "latency_us: mean=%.2f p50=%.2f p95=%.2f p99=%.2f p999=%.2f\n",
+		r.Mean, r.P50, r.P95, r.P99, r.P999)
+	fmt.Fprintf(&b, "prepare: warm=%d cold=%d mean_warm_us=%.2f mean_cold_us=%.2f\n",
+		s.WarmPrepares, s.ColdPrepares, r.MeanWarmPrepUS, r.MeanColdPrepUS)
+	fmt.Fprintf(&b, "pool: reaps=%d crashes=%d replaces=%d quarantines=%d admit_retries=%d done_retries=%d\n",
+		s.Reaps, s.Crashes, s.Replaces, s.Quarantines, s.AdmitRetries, s.DoneRetries)
+	fmt.Fprintf(&b, "ledger: len=%d head=%s sig_verified=%d sig_failed=%d\n",
+		r.LedgerLen, r.LedgerHead, s.SigVerified, s.SigFailed)
+	fmt.Fprintf(&b, "events_fired=%d\n", r.EventsFired)
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package workload
+
+import "khsim/internal/sim"
+
+// LambdaMix models the service-demand distribution of lambda-style
+// serving requests: a light exponential body (cache hits, small
+// handlers) mixed with a heavier exponential tail (cold code paths,
+// large payloads). It is the per-job CPU demand the serving workload
+// charges inside an environment VM — deliberately much shorter than the
+// paper's HPC jobs, so environment prepare/teardown and OS noise, not
+// the job itself, dominate the latency budget.
+type LambdaMix struct {
+	// MeanShort is the body's mean demand.
+	MeanShort sim.Duration
+	// MeanLong is the tail's mean demand.
+	MeanLong sim.Duration
+	// LongFrac is the probability a request draws from the tail.
+	LongFrac float64
+}
+
+// DefaultLambdaMix is calibrated so the body sits near 200 µs — a few
+// scheduler quanta — with a 5% tail near 2 ms that interacts with timer
+// ticks and kthread noise on a Linux primary.
+func DefaultLambdaMix() LambdaMix {
+	return LambdaMix{
+		MeanShort: sim.FromMicros(200),
+		MeanLong:  sim.FromMicros(2000),
+		LongFrac:  0.05,
+	}
+}
+
+// Demand draws one request's CPU demand. The mixture pick and the
+// exponential draw both come from rng, so a shared seed reproduces the
+// exact demand sequence.
+func (m LambdaMix) Demand(rng *sim.RNG) sim.Duration {
+	mean := m.MeanShort
+	if m.LongFrac > 0 && rng.Float64() < m.LongFrac {
+		mean = m.MeanLong
+	}
+	d := rng.ExpDuration(mean)
+	if d < sim.FromMicros(1) {
+		d = sim.FromMicros(1) // even a no-op request enters and exits the handler
+	}
+	return d
+}
